@@ -1,0 +1,72 @@
+"""PolygraphMR: fault-tolerant misprediction detection for CNN ensembles.
+
+Four layers (see ``docs/ARCHITECTURE.md``):
+
+1. Artifact store — validated, quarantining access to ``.repro_cache``
+   (:mod:`polygraphmr.store`, :mod:`polygraphmr.integrity`,
+   :mod:`polygraphmr.manifest`, :mod:`polygraphmr.naming`).
+2. Ensemble runtime — graceful-degradation assembly + decision module
+   (:mod:`polygraphmr.ensemble`, :mod:`polygraphmr.decision`).
+3. Fault-injection harness (:mod:`polygraphmr.faults`).
+4. Error taxonomy + bounded retry (:mod:`polygraphmr.errors`).
+"""
+
+from .decision import DetectionMetrics, LogisticDecisionModule
+from .ensemble import DegradedResult, EnsembleResult, EnsembleRuntime, ModelSkipped
+from .errors import (
+    ArtifactCorrupt,
+    ArtifactError,
+    ArtifactMissing,
+    DegradedEnsemble,
+    IntegrityMismatch,
+    PolygraphError,
+    RetryPolicy,
+    TransientIOError,
+    retry_with_backoff,
+)
+from .manifest import CacheManifest, ModelManifest
+from .naming import display_to_stem, resolve_greedy_file, stem_to_display
+from .store import ArtifactStore
+
+__version__ = "0.1.0"
+
+_FAULT_EXPORTS = ("FaultSpec", "inject_bitflips", "inject_gaussian", "measure_degradation")
+
+
+def __getattr__(name: str):
+    # Lazy so that `python -m polygraphmr.faults` doesn't import the module
+    # twice (package import + runpy __main__ execution).
+    if name in _FAULT_EXPORTS:
+        from . import faults
+
+        return getattr(faults, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+__all__ = [
+    "ArtifactCorrupt",
+    "ArtifactError",
+    "ArtifactMissing",
+    "ArtifactStore",
+    "CacheManifest",
+    "DegradedEnsemble",
+    "DegradedResult",
+    "DetectionMetrics",
+    "EnsembleResult",
+    "EnsembleRuntime",
+    "FaultSpec",
+    "IntegrityMismatch",
+    "LogisticDecisionModule",
+    "ModelManifest",
+    "ModelSkipped",
+    "PolygraphError",
+    "RetryPolicy",
+    "TransientIOError",
+    "display_to_stem",
+    "inject_bitflips",
+    "inject_gaussian",
+    "measure_degradation",
+    "resolve_greedy_file",
+    "retry_with_backoff",
+    "stem_to_display",
+    "__version__",
+]

@@ -1,0 +1,229 @@
+"""Graceful-degradation ensemble runtime.
+
+Assembles whatever submodel artifacts validated into a stacked probability
+tensor, aggregates predictions, and runs the decision module end-to-end
+(train on ``val``, evaluate on ``test``).  A model with quarantined or
+missing members still produces a result — explicitly marked degraded and
+naming the members that dropped out — and only when fewer than
+``min_members`` survive does it raise :class:`DegradedEnsemble`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from .decision import DetectionMetrics, LogisticDecisionModule, ensemble_features, misprediction_targets
+from .errors import DegradedEnsemble
+from .store import ArtifactStore
+
+__all__ = ["EnsembleBatch", "EnsembleResult", "DegradedResult", "ModelSkipped", "EnsembleRuntime"]
+
+FULL = "full"
+DEGRADED = "degraded"
+
+
+@dataclass
+class EnsembleBatch:
+    """Stacked, validated probability tensors for one model and split."""
+
+    model: str
+    split: str
+    members: list[str]  # stems, ORG first when present
+    stacked: np.ndarray  # (M, N, C)
+    missing: list[str] = field(default_factory=list)
+    quarantined: dict[str, str] = field(default_factory=dict)  # stem -> reason
+
+    @property
+    def degraded(self) -> bool:
+        return bool(self.missing or self.quarantined)
+
+
+@dataclass
+class EnsembleResult:
+    """End-to-end outcome: ensemble predictions + misprediction detection."""
+
+    model: str
+    status: str  # FULL
+    members: list[str]
+    predictions: np.ndarray  # ensemble top-1 per test sample
+    flags: np.ndarray  # 1 where the decision module predicts ORG is wrong
+    metrics: DetectionMetrics | None  # None when no labels are available
+    missing: list[str] = field(default_factory=list)
+    quarantined: dict[str, str] = field(default_factory=dict)
+
+
+@dataclass
+class DegradedResult(EnsembleResult):
+    """Same payload as :class:`EnsembleResult`, but explicitly degraded:
+    ``missing`` / ``quarantined`` name the members that did not make it."""
+
+    def __post_init__(self) -> None:
+        self.status = DEGRADED
+
+
+@dataclass(frozen=True)
+class ModelSkipped:
+    """A model for which no ensemble could run at all, with the reason."""
+
+    model: str
+    reason: str
+    detail: str = ""
+
+
+class EnsembleRuntime:
+    """Drives assemble → aggregate → decide over an :class:`ArtifactStore`."""
+
+    def __init__(
+        self,
+        store: ArtifactStore,
+        *,
+        min_members: int = 2,
+        decision_factory=LogisticDecisionModule,
+        seed: int = 0,
+    ):
+        self.store = store
+        self.min_members = min_members
+        self.decision_factory = decision_factory
+        self.seed = seed
+
+    # -- assembly --------------------------------------------------------
+
+    def member_plan(self, model: str, *, greedy: str | None = None) -> list[str]:
+        """Which stems to attempt: a greedy selection if requested and
+        parseable, otherwise every stem with artifacts on disk.
+
+        Deliberately *not* restricted to already-valid artifacts: a stem
+        whose files exist but are corrupt stays in the plan so the run can
+        report it quarantined in a :class:`DegradedResult` instead of
+        silently pretending the ensemble was never bigger."""
+
+        manifest = self.store.scan_model(model)
+        if greedy is not None and greedy in manifest.greedy:
+            plan = manifest.greedy[greedy]
+        else:
+            plan = manifest.present_stems()
+        if "ORG" in plan:  # keep ORG first: feature layout and targets rely on it
+            plan = ["ORG"] + [s for s in plan if s != "ORG"]
+        elif "ORG" not in plan:
+            plan = ["ORG"] + plan
+        return plan
+
+    def assemble(self, model: str, split: str, *, members: list[str] | None = None) -> EnsembleBatch:
+        """Load every planned member's probs for ``split``; quarantine, don't crash.
+
+        Raises :class:`DegradedEnsemble` only when fewer than ``min_members``
+        members survive validation (ORG included).
+        """
+
+        plan = members if members is not None else self.member_plan(model, greedy=None)
+        loaded: dict[str, np.ndarray] = {}
+        missing: list[str] = []
+        quarantined: dict[str, str] = {}
+        n_shape: tuple[int, ...] | None = None
+        for stem in plan:
+            path = self.store.probs_path(model, stem, split)
+            if not path.is_file():
+                missing.append(stem)
+                continue
+            probs = self.store.try_load_probs(model, stem, split)
+            if probs is None:
+                quarantined[stem] = self.store.quarantine.get(str(path), "unknown")
+                continue
+            if n_shape is not None and probs.shape != n_shape:
+                quarantined[stem] = "probs-shape-disagrees"
+                self.store.quarantine[str(path)] = "probs-shape-disagrees"
+                continue
+            n_shape = probs.shape if n_shape is None else n_shape
+            loaded[stem] = probs
+        survivors = [s for s in plan if s in loaded]
+        if len(survivors) < self.min_members:
+            raise DegradedEnsemble(model, survivors, self.min_members)
+        stacked = np.stack([loaded[s] for s in survivors], axis=0)
+        return EnsembleBatch(
+            model=model,
+            split=split,
+            members=survivors,
+            stacked=stacked,
+            missing=missing,
+            quarantined=quarantined,
+        )
+
+    # -- aggregation -----------------------------------------------------
+
+    @staticmethod
+    def aggregate(batch: EnsembleBatch, *, method: str = "mean") -> np.ndarray:
+        """Ensemble top-1 prediction per sample: ``mean`` probs or majority ``vote``."""
+
+        if method == "mean":
+            return batch.stacked.mean(axis=0).argmax(axis=1)
+        if method == "vote":
+            votes = batch.stacked.argmax(axis=2)  # (M, N)
+            c = batch.stacked.shape[2]
+            return np.apply_along_axis(lambda col: np.bincount(col, minlength=c).argmax(), 0, votes)
+        raise ValueError(f"unknown aggregation method: {method!r}")
+
+    # -- end to end ------------------------------------------------------
+
+    def run_model(self, model: str, *, members: list[str] | None = None, greedy: str | None = None) -> EnsembleResult:
+        """Train the decision module on val, evaluate on test, for one model.
+
+        Members are the intersection of the survivors on both splits so the
+        feature layout is identical at train and eval time.  Returns
+        :class:`DegradedResult` whenever any planned member dropped out.
+        """
+
+        plan = members if members is not None else self.member_plan(model, greedy=greedy)
+        val = self.assemble(model, "val", members=plan)
+        test = self.assemble(model, "test", members=plan)
+
+        common = [s for s in val.members if s in set(test.members)]
+        if len(common) < self.min_members:
+            raise DegradedEnsemble(model, common, self.min_members)
+        val_stack = np.stack([val.stacked[val.members.index(s)] for s in common], axis=0)
+        test_stack = np.stack([test.stacked[test.members.index(s)] for s in common], axis=0)
+
+        quarantined = {**val.quarantined, **test.quarantined}
+        missing = sorted(s for s in plan if s not in common and s not in quarantined)
+
+        metrics = None
+        flags = np.zeros(test_stack.shape[1], dtype=np.int64)
+        val_labels = self.store.load_labels(model, "val")
+        test_labels = self.store.load_labels(model, "test")
+        if val_labels is not None and "ORG" in common and len(val_labels) == val_stack.shape[1]:
+            module = self.decision_factory(seed=self.seed)
+            org_val = val_stack[common.index("ORG")]
+            module.fit(ensemble_features(val_stack), misprediction_targets(org_val, val_labels))
+            test_features = ensemble_features(test_stack)
+            flags = module.predict(test_features)
+            if test_labels is not None and len(test_labels) == test_stack.shape[1]:
+                org_test = test_stack[common.index("ORG")]
+                metrics = module.evaluate(test_features, misprediction_targets(org_test, test_labels))
+
+        batch = EnsembleBatch(model=model, split="test", members=common, stacked=test_stack)
+        predictions = self.aggregate(batch)
+        cls = DegradedResult if (missing or quarantined) else EnsembleResult
+        return cls(
+            model=model,
+            status=FULL,
+            members=common,
+            predictions=predictions,
+            flags=flags,
+            metrics=metrics,
+            missing=missing,
+            quarantined=quarantined,
+        )
+
+    def run_cache(self) -> dict[str, EnsembleResult | ModelSkipped]:
+        """Run every model in the cache; skips (never raises) per-model failures."""
+
+        outcomes: dict[str, EnsembleResult | ModelSkipped] = {}
+        for model in self.store.models():
+            try:
+                outcomes[model] = self.run_model(model)
+            except DegradedEnsemble as exc:
+                outcomes[model] = ModelSkipped(model, "degraded-below-minimum", str(exc))
+            except Exception as exc:  # noqa: BLE001 - the contract is "never crash the sweep"
+                outcomes[model] = ModelSkipped(model, "error", repr(exc))
+        return outcomes

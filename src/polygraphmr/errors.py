@@ -1,0 +1,142 @@
+"""Structured error taxonomy and bounded retry for PolygraphMR.
+
+Every failure surfaced by the artifact store or ensemble runtime is an
+instance of :class:`PolygraphError` carrying a machine-readable ``reason``
+code, so callers (and the audit tooling) can aggregate failures without
+parsing message strings.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable, Sequence, TypeVar
+
+__all__ = [
+    "PolygraphError",
+    "ArtifactError",
+    "ArtifactCorrupt",
+    "ArtifactMissing",
+    "IntegrityMismatch",
+    "DegradedEnsemble",
+    "TransientIOError",
+    "RetryPolicy",
+    "retry_with_backoff",
+]
+
+
+class PolygraphError(Exception):
+    """Base class for every error raised by polygraphmr."""
+
+
+class ArtifactError(PolygraphError):
+    """A problem with a single on-disk artifact.
+
+    Parameters
+    ----------
+    path:
+        Filesystem path of the offending artifact.
+    reason:
+        Short machine-readable code, e.g. ``"bad-zip"``, ``"not-found"``,
+        ``"probs-not-simplex"``.
+    detail:
+        Optional human-readable elaboration.
+    """
+
+    def __init__(self, path: str | Path, reason: str, detail: str = ""):
+        self.path = str(path)
+        self.reason = reason
+        self.detail = detail
+        msg = f"{self.path}: {reason}"
+        if detail:
+            msg = f"{msg} ({detail})"
+        super().__init__(msg)
+
+
+class ArtifactCorrupt(ArtifactError):
+    """The artifact exists but its bytes are not a loadable archive."""
+
+
+class ArtifactMissing(ArtifactError):
+    """An expected artifact file is absent from the cache."""
+
+    def __init__(self, path: str | Path, reason: str = "not-found", detail: str = ""):
+        super().__init__(path, reason, detail)
+
+
+class IntegrityMismatch(ArtifactError):
+    """The artifact loads, but its contents violate a semantic invariant
+    (wrong shape, non-finite values, probability rows not on the simplex)."""
+
+
+class DegradedEnsemble(PolygraphError):
+    """The ensemble cannot run even in degraded mode (too few members)."""
+
+    def __init__(self, model: str, available: Sequence[str], required: int):
+        self.model = model
+        self.available = list(available)
+        self.required = required
+        super().__init__(
+            f"model {model!r}: only {len(self.available)} usable member(s) "
+            f"{self.available}, need >= {required}"
+        )
+
+
+class TransientIOError(PolygraphError):
+    """Raised when bounded retries on a transient IO failure are exhausted."""
+
+    def __init__(self, path: str | Path, attempts: int, last: BaseException):
+        self.path = str(path)
+        self.attempts = attempts
+        self.last = last
+        super().__init__(
+            f"{self.path}: gave up after {attempts} attempt(s): {last!r}"
+        )
+
+
+T = TypeVar("T")
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Bounded exponential backoff.
+
+    ``sleep`` is injectable so tests never actually wait.
+    """
+
+    attempts: int = 3
+    base_delay: float = 0.05
+    max_delay: float = 1.0
+    retry_on: tuple[type[BaseException], ...] = (OSError,)
+    sleep: Callable[[float], None] = field(default=time.sleep)
+
+    def delay_for(self, attempt: int) -> float:
+        return min(self.base_delay * (2**attempt), self.max_delay)
+
+
+def retry_with_backoff(
+    fn: Callable[[], T],
+    *,
+    path: str | Path = "<unknown>",
+    policy: RetryPolicy | None = None,
+) -> T:
+    """Call ``fn`` up to ``policy.attempts`` times, backing off between tries.
+
+    Only exceptions listed in ``policy.retry_on`` are retried; anything else
+    propagates immediately.  Once attempts are exhausted the last error is
+    wrapped in :class:`TransientIOError` so callers can distinguish "the disk
+    hiccuped" from "the file is garbage".
+    """
+
+    policy = policy or RetryPolicy()
+    last: BaseException | None = None
+    for attempt in range(policy.attempts):
+        try:
+            return fn()
+        except policy.retry_on as exc:  # noqa: PERF203 - loop is the point
+            last = exc
+            if attempt + 1 < policy.attempts:
+                policy.sleep(policy.delay_for(attempt))
+    assert last is not None
+    raise TransientIOError(path, policy.attempts, last)

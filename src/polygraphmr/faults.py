@@ -1,0 +1,272 @@
+"""MRFI-style fault-injection harness.
+
+Two families of injectors, both seeded and reproducible:
+
+* **Tensor-level** — random bit-flips in the float32 mantissa/exponent/sign
+  bits and additive gaussian noise, applied to loaded probability or weight
+  tensors.  Used to measure how misprediction-detection quality degrades as
+  the ensemble's inputs are perturbed.
+* **Artifact-level** — byte truncation and header damage applied to copies
+  of ``.npz`` files, used to exercise the store's quarantine path.
+
+Run ``python -m polygraphmr.faults --help`` for the measurement CLI.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import shutil
+import sys
+from dataclasses import dataclass
+from pathlib import Path
+
+import numpy as np
+
+from .decision import LogisticDecisionModule, ensemble_features, misprediction_targets
+from .ensemble import EnsembleRuntime
+from .store import ArtifactStore
+
+__all__ = [
+    "FaultSpec",
+    "inject_bitflips",
+    "inject_gaussian",
+    "sanitize_probs",
+    "corrupt_file_truncate",
+    "corrupt_file_header",
+    "measure_degradation",
+    "main",
+]
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """Declarative description of a tensor-level fault campaign."""
+
+    kind: str  # "bitflip" | "gaussian"
+    rate: float = 0.0  # bitflip: fraction of elements hit
+    sigma: float = 0.0  # gaussian: noise stddev
+    seed: int = 0
+
+    def apply(self, arr: np.ndarray) -> np.ndarray:
+        rng = np.random.default_rng(self.seed)
+        if self.kind == "bitflip":
+            return inject_bitflips(arr, rate=self.rate, rng=rng)
+        if self.kind == "gaussian":
+            return inject_gaussian(arr, sigma=self.sigma, rng=rng)
+        raise ValueError(f"unknown fault kind: {self.kind!r}")
+
+
+def inject_bitflips(arr: np.ndarray, *, rate: float, rng: np.random.Generator) -> np.ndarray:
+    """Flip one random bit in a ``rate`` fraction of float32 elements.
+
+    Returns a new array; the input is never mutated.  Flips hit the raw IEEE
+    bit pattern, so a single flip can turn a probability into ``inf`` or a
+    denormal — exactly the silent-data-corruption model from the fault
+    injection literature.
+    """
+
+    out = np.ascontiguousarray(arr, dtype=np.float32).copy()
+    flat = out.reshape(-1)
+    n_hit = int(round(rate * flat.size))
+    if n_hit == 0:
+        return out.reshape(arr.shape)
+    idx = rng.choice(flat.size, size=n_hit, replace=False)
+    bits = rng.integers(0, 32, size=n_hit, dtype=np.uint32)
+    view = flat.view(np.uint32)
+    view[idx] ^= (np.uint32(1) << bits)
+    return out.reshape(arr.shape)
+
+
+def inject_gaussian(arr: np.ndarray, *, sigma: float, rng: np.random.Generator) -> np.ndarray:
+    """Additive zero-mean gaussian noise; returns a new float64 array."""
+
+    out = np.asarray(arr, dtype=np.float64).copy()
+    return out + rng.normal(0.0, sigma, size=out.shape)
+
+
+def sanitize_probs(arr: np.ndarray) -> np.ndarray:
+    """Repair a faulted probability matrix so downstream code keeps running:
+    non-finite → 0, clip to [0, 1], renormalise rows (uniform if a row dies)."""
+
+    out = np.asarray(arr, dtype=np.float64).copy()
+    out[~np.isfinite(out)] = 0.0
+    np.clip(out, 0.0, 1.0, out=out)
+    sums = out.sum(axis=1, keepdims=True)
+    dead = sums.reshape(-1) <= 0.0
+    out[dead] = 1.0 / out.shape[1]
+    sums[dead.reshape(-1)] = 1.0
+    return out / sums
+
+
+def corrupt_file_truncate(src: str | Path, dst: str | Path, *, keep_fraction: float, seed: int = 0) -> Path:
+    """Copy ``src`` to ``dst`` keeping head and tail but cutting bytes from the
+    middle — the same damage pattern observed in the seed cache."""
+
+    data = Path(src).read_bytes()
+    rng = np.random.default_rng(seed)
+    keep = max(8, int(len(data) * keep_fraction))
+    cut = len(data) - keep
+    if cut > 0:
+        start = int(rng.integers(4, max(5, keep // 2)))
+        data = data[:start] + data[start + cut :]
+    dst = Path(dst)
+    dst.write_bytes(data)
+    return dst
+
+
+def corrupt_file_header(src: str | Path, dst: str | Path, *, n_bytes: int = 4, seed: int = 0) -> Path:
+    """Copy ``src`` to ``dst`` and overwrite the first ``n_bytes`` with noise."""
+
+    dst = Path(dst)
+    shutil.copyfile(src, dst)
+    rng = np.random.default_rng(seed)
+    with open(dst, "r+b") as fh:
+        fh.write(bytes(int(b) for b in rng.integers(0, 256, size=n_bytes)))
+    return dst
+
+
+def measure_degradation(
+    store: ArtifactStore,
+    model: str,
+    spec: FaultSpec,
+    *,
+    members: list[str] | None = None,
+    seed: int = 0,
+) -> dict:
+    """Clean-vs-faulted misprediction-detection metrics for one model.
+
+    Trains the decision module on clean ``val`` data, then evaluates on the
+    clean ``test`` split and on a copy with ``spec`` injected into every
+    member's probabilities (sanitised back onto the simplex so the module
+    sees plausible-but-wrong inputs rather than crashing).
+    """
+
+    runtime = EnsembleRuntime(store, seed=seed)
+    plan = members if members is not None else runtime.member_plan(model)
+    val = runtime.assemble(model, "val", members=plan)
+    test = runtime.assemble(model, "test", members=plan)
+    common = [s for s in val.members if s in set(test.members)]
+    if "ORG" not in common:
+        raise ValueError(f"model {model!r}: ORG did not survive validation; cannot define targets")
+    val_stack = np.stack([val.stacked[val.members.index(s)] for s in common], axis=0)
+    test_stack = np.stack([test.stacked[test.members.index(s)] for s in common], axis=0)
+
+    val_labels = store.load_labels(model, "val")
+    test_labels = store.load_labels(model, "test")
+    if val_labels is None or test_labels is None:
+        raise ValueError(f"model {model!r}: labels required to measure detection quality")
+
+    module = LogisticDecisionModule(seed=seed)
+    org_i = common.index("ORG")
+    module.fit(ensemble_features(val_stack), misprediction_targets(val_stack[org_i], val_labels))
+
+    clean = module.evaluate(ensemble_features(test_stack), misprediction_targets(test_stack[org_i], test_labels))
+
+    faulted_stack = np.stack([sanitize_probs(spec.apply(test_stack[i])) for i in range(len(common))], axis=0)
+    faulted = module.evaluate(
+        ensemble_features(faulted_stack),
+        misprediction_targets(faulted_stack[org_i], test_labels),
+    )
+    return {
+        "model": model,
+        "members": common,
+        "fault": {"kind": spec.kind, "rate": spec.rate, "sigma": spec.sigma, "seed": spec.seed},
+        "clean": clean.to_dict(),
+        "faulted": faulted.to_dict(),
+        "delta": {
+            k: round(faulted.to_dict()[k] - clean.to_dict()[k], 6)
+            for k in ("accuracy", "precision", "recall", "f1", "auc")
+        },
+    }
+
+
+# -- synthetic demo cache (the seed cache has zero valid artifacts) --------
+
+
+def build_synthetic_model(
+    root: str | Path,
+    model: str = "synthetic",
+    *,
+    members: tuple[str, ...] = ("ORG", "pp-Gamma_2", "pp-Hist", "pp-FlipX", "replica-001"),
+    n_val: int = 200,
+    n_test: int = 200,
+    n_classes: int = 10,
+    seed: int = 0,
+) -> Path:
+    """Write a small, fully-valid model directory for demos and tests.
+
+    Samples share a per-example difficulty, so on hard inputs every member's
+    probabilities blur together — giving the decision module a real
+    disagreement signal to learn, as in the paper's setting.
+    """
+
+    rng = np.random.default_rng(seed)
+    mdir = Path(root) / model
+    mdir.mkdir(parents=True, exist_ok=True)
+    for split, n in (("val", n_val), ("test", n_test)):
+        labels = rng.integers(0, n_classes, size=n)
+        difficulty = rng.uniform(0.0, 1.0, size=n)
+        np.savez(mdir / f"labels.{split}.npz", labels=labels)
+        for stem in members:
+            signal = 4.0 * (1.1 - difficulty)[:, None]
+            logits = rng.normal(0.0, 1.0, size=(n, n_classes))
+            logits[np.arange(n), labels] += signal[:, 0]
+            z = logits - logits.max(axis=1, keepdims=True)
+            probs = np.exp(z) / np.exp(z).sum(axis=1, keepdims=True)
+            np.savez(mdir / f"{stem}.{split}.probs.npz", probs=probs.astype(np.float32))
+    for stem in members:
+        np.savez(
+            mdir / f"{stem}.weights.npz",
+            dense=rng.normal(size=(16, n_classes)).astype(np.float32),
+            bias=np.zeros(n_classes, dtype=np.float32),
+        )
+    (mdir / "greedy-4.json").write_text(json.dumps(["ORG", "Gamma(2)", "Hist", "FlipX"]))
+    return mdir
+
+
+# -- CLI -------------------------------------------------------------------
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m polygraphmr.faults",
+        description="Measure misprediction-detection degradation under injected faults.",
+    )
+    parser.add_argument("--cache", default=".repro_cache", help="cache root (default: .repro_cache)")
+    parser.add_argument("--model", default=None, help="model directory to target (default: every usable model)")
+    parser.add_argument("--kind", choices=("bitflip", "gaussian"), default="bitflip")
+    parser.add_argument("--rate", type=float, default=0.01, help="bit-flip rate (fraction of elements)")
+    parser.add_argument("--sigma", type=float, default=0.05, help="gaussian noise stddev")
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--synthetic",
+        metavar="DIR",
+        default=None,
+        help="build a synthetic model under DIR and run against it "
+        "(use when the cache has no valid artifacts, e.g. the seed cache)",
+    )
+    args = parser.parse_args(argv)
+
+    if args.synthetic is not None:
+        build_synthetic_model(args.synthetic, seed=args.seed)
+        store = ArtifactStore(args.synthetic)
+    else:
+        store = ArtifactStore(args.cache)
+
+    spec = FaultSpec(kind=args.kind, rate=args.rate, sigma=args.sigma, seed=args.seed)
+    models = [args.model] if args.model else store.models()
+    reports = []
+    for model in models:
+        try:
+            reports.append(measure_degradation(store, model, spec, seed=args.seed))
+        except Exception as exc:  # noqa: BLE001 - CLI reports, never crashes the sweep
+            reports.append({"model": model, "error": repr(exc)})
+    json.dump({"reports": reports}, sys.stdout, indent=2)
+    sys.stdout.write("\n")
+    usable = [r for r in reports if "error" not in r]
+    return 0 if usable else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

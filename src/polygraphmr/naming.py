@@ -1,0 +1,107 @@
+"""Canonical name mapping between display names and artifact file stems.
+
+The greedy-selection JSON files (``greedy-4.json`` / ``greedy-6.json``)
+record submodels by *display name* — ``"ORG"``, ``"Hist"``, ``"Gamma(2)"``,
+``"Gamma(1.5)"`` — while artifacts on disk use *stems*: ``ORG``,
+``pp-Hist``, ``pp-Gamma_2``, ``pp-Gamma_1p5``.  The rules:
+
+* ``ORG`` and ``replica-NNN`` map to themselves.
+* A bare preprocessor name ``X`` maps to ``pp-X``.
+* A parameterised preprocessor ``X(arg)`` maps to ``pp-X_<arg>`` where every
+  ``.`` in the argument becomes ``p`` (so ``Gamma(1.5)`` → ``pp-Gamma_1p5``).
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from pathlib import Path
+
+from .errors import ArtifactCorrupt
+
+__all__ = [
+    "STANDARD_PREPROCESSORS",
+    "N_REPLICAS",
+    "display_to_stem",
+    "stem_to_display",
+    "standard_roster",
+    "resolve_greedy_file",
+]
+
+# Roster observed across the seed cache: 8 metamorphic preprocessors plus the
+# original model and 5 independently-trained replicas.
+STANDARD_PREPROCESSORS: tuple[str, ...] = (
+    "AdHist",
+    "ConNorm",
+    "FlipX",
+    "FlipY",
+    "Gamma(1.5)",
+    "Gamma(2)",
+    "Hist",
+    "ImAdj",
+)
+N_REPLICAS = 5
+
+_PARAM_RE = re.compile(r"^(?P<name>[A-Za-z][A-Za-z0-9]*)\((?P<arg>[^()]+)\)$")
+_BARE_RE = re.compile(r"^[A-Za-z][A-Za-z0-9]*$")
+_REPLICA_RE = re.compile(r"^replica-\d{3}$")
+_STEM_PARAM_RE = re.compile(r"^pp-(?P<name>[A-Za-z][A-Za-z0-9]*)_(?P<arg>[A-Za-z0-9p]+)$")
+
+
+def display_to_stem(display: str) -> str:
+    """Map a greedy-JSON display name to its artifact file stem."""
+
+    display = display.strip()
+    if display == "ORG" or _REPLICA_RE.match(display):
+        return display
+    m = _PARAM_RE.match(display)
+    if m:
+        arg = m.group("arg").strip().replace(".", "p")
+        return f"pp-{m.group('name')}_{arg}"
+    if _BARE_RE.match(display):
+        return f"pp-{display}"
+    raise ValueError(f"unrecognised submodel display name: {display!r}")
+
+
+def stem_to_display(stem: str) -> str:
+    """Inverse of :func:`display_to_stem`.
+
+    The dot restoration is heuristic but lossless for numeric arguments like
+    ``1p5`` → ``1.5``; a ``p`` between two digits is a decimal point.
+    """
+
+    if stem == "ORG" or _REPLICA_RE.match(stem):
+        return stem
+    m = _STEM_PARAM_RE.match(stem)
+    if m:
+        arg = re.sub(r"(?<=\d)p(?=\d)", ".", m.group("arg"))
+        return f"{m.group('name')}({arg})"
+    if stem.startswith("pp-") and _BARE_RE.match(stem[3:]):
+        return stem[3:]
+    raise ValueError(f"unrecognised artifact stem: {stem!r}")
+
+
+def standard_roster() -> list[str]:
+    """Every stem a fully-populated model directory is expected to hold."""
+
+    stems = ["ORG"]
+    stems += [display_to_stem(p) for p in STANDARD_PREPROCESSORS]
+    stems += [f"replica-{i:03d}" for i in range(1, N_REPLICAS + 1)]
+    return stems
+
+
+def resolve_greedy_file(path: str | Path) -> list[str]:
+    """Parse a ``greedy-*.json`` and return the member stems, in order.
+
+    Raises :class:`ArtifactCorrupt` (reason ``bad-json``) if the file is not
+    a JSON list of strings, and :class:`ValueError` for unmappable names.
+    """
+
+    p = Path(path)
+    try:
+        entries = json.loads(p.read_text())
+    except (OSError, json.JSONDecodeError) as exc:
+        raise ArtifactCorrupt(p, "bad-json", repr(exc)) from exc
+    if not isinstance(entries, list) or not all(isinstance(e, str) for e in entries):
+        raise ArtifactCorrupt(p, "bad-json", f"expected a list of strings, got {type(entries).__name__}")
+    return [display_to_stem(e) for e in entries]

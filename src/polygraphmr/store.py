@@ -1,0 +1,216 @@
+"""Validated, quarantining artifact store over a ``.repro_cache`` directory.
+
+Layout it understands::
+
+    <root>/<model>/ORG.{val,test}.probs.npz
+    <root>/<model>/ORG.weights.npz
+    <root>/<model>/pp-<Preproc>.{val,test}.probs.npz     # metamorphic submodels
+    <root>/<model>/pp-<Preproc>.weights.npz
+    <root>/<model>/replica-00N.{val,test}.probs.npz      # independent replicas
+    <root>/<model>/replica-00N.weights.npz
+    <root>/<model>/greedy-{4,6}.json                     # selected display names
+    <root>/<model>/labels.{val,test}.npz                 # optional ground truth
+
+The store never lets a bad file crash a scan: corrupt artifacts are
+quarantined with a structured reason and simply drop out of the usable set.
+"""
+
+from __future__ import annotations
+
+import re
+from pathlib import Path
+
+import numpy as np
+
+from .errors import ArtifactCorrupt, ArtifactMissing, IntegrityMismatch, RetryPolicy
+from .integrity import check_probs, check_weights, load_npz_validated, probe_artifact
+from .manifest import (
+    CORRUPT,
+    MISSING,
+    VALID,
+    ArtifactRecord,
+    ArtifactStatus,
+    CacheManifest,
+    ModelManifest,
+    expected_filenames,
+)
+from .naming import resolve_greedy_file, standard_roster
+
+__all__ = ["ArtifactStore"]
+
+_GREEDY_RE = re.compile(r"^greedy-(\d+)\.json$")
+_ARTIFACT_RE = re.compile(r"^(?P<stem>ORG|pp-[^.]+|replica-\d{3})\.(?:(?P<split>val|test)\.probs|weights)\.npz$")
+
+
+class ArtifactStore:
+    """Read-only access to a cache root with validation and quarantine.
+
+    Quarantine is cumulative per store instance: any artifact that fails
+    container or semantic validation is recorded in :attr:`quarantine`
+    (path → reason) and treated as absent from then on.
+    """
+
+    def __init__(self, root: str | Path, *, retry_policy: RetryPolicy | None = None):
+        self.root = Path(root)
+        self.retry_policy = retry_policy
+        self.quarantine: dict[str, str] = {}
+
+    # -- paths -----------------------------------------------------------
+
+    def model_dir(self, model: str) -> Path:
+        return self.root / model
+
+    def models(self) -> list[str]:
+        if not self.root.is_dir():
+            return []
+        return sorted(p.name for p in self.root.iterdir() if p.is_dir())
+
+    def probs_path(self, model: str, stem: str, split: str) -> Path:
+        return self.model_dir(model) / f"{stem}.{split}.probs.npz"
+
+    def weights_path(self, model: str, stem: str) -> Path:
+        return self.model_dir(model) / f"{stem}.weights.npz"
+
+    # -- quarantine ------------------------------------------------------
+
+    def _quarantine(self, path: Path, reason: str) -> None:
+        self.quarantine[str(path)] = reason
+
+    def is_quarantined(self, path: str | Path) -> bool:
+        return str(path) in self.quarantine
+
+    # -- loading ---------------------------------------------------------
+
+    def load_probs(self, model: str, stem: str, split: str, *, n_classes: int | None = None) -> np.ndarray:
+        """Load and validate one probability matrix; raises on any problem."""
+
+        path = self.probs_path(model, stem, split)
+        if self.is_quarantined(path):
+            raise ArtifactCorrupt(path, self.quarantine[str(path)], "previously quarantined")
+        try:
+            arrays = load_npz_validated(path, expect_keys=("probs",), policy=self.retry_policy)
+            return check_probs(arrays["probs"], path=path, n_classes=n_classes)
+        except (ArtifactCorrupt, IntegrityMismatch) as exc:
+            self._quarantine(path, exc.reason)
+            raise
+
+    def load_weights(self, model: str, stem: str) -> dict[str, np.ndarray]:
+        """Load and validate one weights bundle; raises on any problem."""
+
+        path = self.weights_path(model, stem)
+        if self.is_quarantined(path):
+            raise ArtifactCorrupt(path, self.quarantine[str(path)], "previously quarantined")
+        try:
+            arrays = load_npz_validated(path, policy=self.retry_policy)
+            return check_weights(arrays, path=path)
+        except (ArtifactCorrupt, IntegrityMismatch) as exc:
+            self._quarantine(path, exc.reason)
+            raise
+
+    def try_load_probs(
+        self, model: str, stem: str, split: str, *, n_classes: int | None = None
+    ) -> np.ndarray | None:
+        """Like :meth:`load_probs` but returns ``None`` (after quarantining)
+        instead of raising — the degraded-mode workhorse."""
+
+        try:
+            return self.load_probs(model, stem, split, n_classes=n_classes)
+        except (ArtifactCorrupt, ArtifactMissing, IntegrityMismatch):
+            return None
+
+    def load_labels(self, model: str, split: str) -> np.ndarray | None:
+        """Optional ground-truth labels (``labels.<split>.npz``, key ``labels``)."""
+
+        path = self.model_dir(model) / f"labels.{split}.npz"
+        if not path.is_file() or self.is_quarantined(path):
+            return None
+        try:
+            arrays = load_npz_validated(path, expect_keys=("labels",), policy=self.retry_policy)
+        except (ArtifactCorrupt, IntegrityMismatch) as exc:
+            self._quarantine(path, exc.reason)
+            return None
+        labels = np.asarray(arrays["labels"]).reshape(-1)
+        if not np.issubdtype(labels.dtype, np.integer):
+            self._quarantine(path, "labels-bad-dtype")
+            return None
+        return labels.astype(np.int64)
+
+    # -- manifests -------------------------------------------------------
+
+    def _status_of(self, path: Path, kind: str) -> ArtifactStatus:
+        if self.is_quarantined(path):
+            return ArtifactStatus(CORRUPT, self.quarantine[str(path)])
+        if not path.is_file():
+            return ArtifactStatus(MISSING, "not-found")
+        report = probe_artifact(path)
+        if not report.ok:
+            self._quarantine(path, report.reason)
+            return ArtifactStatus(CORRUPT, report.reason, report.detail)
+        # container is sound; run the cheap semantic check for probs
+        if kind == "probs":
+            try:
+                arrays = load_npz_validated(path, expect_keys=("probs",), policy=self.retry_policy)
+                check_probs(arrays["probs"], path=path)
+            except (ArtifactCorrupt, IntegrityMismatch) as exc:
+                self._quarantine(path, exc.reason)
+                return ArtifactStatus(CORRUPT, exc.reason, exc.detail)
+        return ArtifactStatus(VALID)
+
+    def scan_model(self, model: str) -> ModelManifest:
+        """Build the available-vs-expected manifest for one model.
+
+        Expected = the standard roster ∪ stems named by greedy files ∪ stems
+        of files actually present, so both "file missing from roster" and
+        "file present but corrupt" are visible.  Never raises on bad files.
+        """
+
+        mdir = self.model_dir(model)
+        manifest = ModelManifest(model=model)
+        present_stems: set[str] = set()
+        known: set[str] = set()
+
+        if mdir.is_dir():
+            for f in sorted(p.name for p in mdir.iterdir() if p.is_file()):
+                gm = _GREEDY_RE.match(f)
+                if gm:
+                    try:
+                        manifest.greedy[f"greedy-{gm.group(1)}"] = resolve_greedy_file(mdir / f)
+                    except (ArtifactCorrupt, ValueError):
+                        self._quarantine(mdir / f, "bad-json")
+                    continue
+                am = _ARTIFACT_RE.match(f)
+                if am:
+                    present_stems.add(am.group("stem"))
+                elif not f.startswith("labels."):
+                    manifest.unexpected.append(f)
+
+        expected_stems = set(standard_roster()) | present_stems
+        for stems in manifest.greedy.values():
+            expected_stems.update(stems)
+
+        for stem in sorted(expected_stems):
+            for kind, split, filename in expected_filenames(stem):
+                path = mdir / filename
+                key = filename
+                if key in known:
+                    continue
+                known.add(key)
+                manifest.records.append(
+                    ArtifactRecord(
+                        model=model,
+                        stem=stem,
+                        kind=kind,
+                        split=split,
+                        filename=filename,
+                        status=self._status_of(path, kind),
+                    )
+                )
+        return manifest
+
+    def scan_all(self) -> CacheManifest:
+        """Manifest for every model directory under the root; never raises."""
+
+        cache = CacheManifest(root=str(self.root))
+        for model in self.models():
+            cache.models[model] = self.scan_model(model)
+        return cache

@@ -1,0 +1,37 @@
+"""Shared fixtures: a fully-valid synthetic cache, plus paths into the real
+(seed) ``.repro_cache``, whose npz artifacts are all known-corrupt."""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from polygraphmr.faults import build_synthetic_model
+from polygraphmr.store import ArtifactStore
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+SEED_CACHE = REPO_ROOT / ".repro_cache"
+
+SYNTH_MEMBERS = ("ORG", "pp-Gamma_2", "pp-Hist", "pp-FlipX", "replica-001")
+
+
+@pytest.fixture()
+def synthetic_cache(tmp_path: Path) -> Path:
+    """A cache root holding one fully-valid model named ``tinynet``."""
+
+    root = tmp_path / "cache"
+    build_synthetic_model(root, "tinynet", members=SYNTH_MEMBERS, n_val=160, n_test=160, seed=7)
+    return root
+
+
+@pytest.fixture()
+def synthetic_store(synthetic_cache: Path) -> ArtifactStore:
+    return ArtifactStore(synthetic_cache)
+
+
+@pytest.fixture()
+def seed_store() -> ArtifactStore:
+    if not SEED_CACHE.is_dir():
+        pytest.skip("seed .repro_cache not present")
+    return ArtifactStore(SEED_CACHE)

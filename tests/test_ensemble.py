@@ -1,0 +1,116 @@
+"""Ensemble runtime: full runs, graceful degradation, seed-cache sweep."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from polygraphmr.ensemble import DegradedResult, EnsembleResult, EnsembleRuntime, ModelSkipped
+from polygraphmr.errors import DegradedEnsemble
+from polygraphmr.faults import corrupt_file_truncate
+
+from .conftest import SYNTH_MEMBERS
+
+
+class TestFullEnsemble:
+    def test_end_to_end_result(self, synthetic_store):
+        runtime = EnsembleRuntime(synthetic_store, seed=0)
+        result = runtime.run_model("tinynet")
+        assert isinstance(result, EnsembleResult) and not isinstance(result, DegradedResult)
+        assert result.status == "full"
+        assert result.members[0] == "ORG"
+        assert set(result.members) == set(SYNTH_MEMBERS)
+        assert result.predictions.shape == result.flags.shape
+        assert result.metrics is not None
+        # the decision module must beat coin-flipping at ranking mispredictions
+        assert result.metrics.auc > 0.6
+
+    def test_greedy_member_plan(self, synthetic_store):
+        runtime = EnsembleRuntime(synthetic_store)
+        plan = runtime.member_plan("tinynet", greedy="greedy-4")
+        assert plan == ["ORG", "pp-Gamma_2", "pp-Hist", "pp-FlipX"]
+
+    def test_aggregation_methods_agree_on_easy_data(self, synthetic_store):
+        runtime = EnsembleRuntime(synthetic_store)
+        batch = runtime.assemble("tinynet", "test")
+        mean_pred = runtime.aggregate(batch, method="mean")
+        vote_pred = runtime.aggregate(batch, method="vote")
+        assert (mean_pred == vote_pred).mean() > 0.8
+        with pytest.raises(ValueError):
+            runtime.aggregate(batch, method="magic")
+
+
+class TestDegradedMode:
+    def test_default_plan_reports_degradation(self, synthetic_store, synthetic_cache):
+        """Regression: the default member plan must attempt present-but-broken
+        members so degradation is *reported*, not silently planned away."""
+
+        src = synthetic_store.probs_path("tinynet", "ORG", "val")
+        corrupt_file_truncate(src, synthetic_store.probs_path("tinynet", "pp-Hist", "val"), keep_fraction=0.3, seed=21)
+        (synthetic_cache / "tinynet" / "pp-FlipX.val.probs.npz").unlink()
+        (synthetic_cache / "tinynet" / "pp-FlipX.test.probs.npz").unlink()
+        runtime = EnsembleRuntime(synthetic_store)
+        result = runtime.run_model("tinynet")  # no explicit members
+        assert isinstance(result, DegradedResult)
+        assert "pp-FlipX" in result.missing  # weights remain, probs gone
+        assert "pp-Hist" in result.quarantined
+
+    def test_missing_member_yields_degraded_result(self, synthetic_store, synthetic_cache):
+        for split in ("val", "test"):
+            (synthetic_cache / "tinynet" / f"pp-FlipX.{split}.probs.npz").unlink()
+        runtime = EnsembleRuntime(synthetic_store)
+        result = runtime.run_model("tinynet", members=list(SYNTH_MEMBERS))
+        assert isinstance(result, DegradedResult)
+        assert result.status == "degraded"
+        assert "pp-FlipX" in result.missing
+        assert result.metrics is not None  # still produces a usable answer
+
+    def test_corrupt_member_named_in_quarantine(self, synthetic_store, synthetic_cache):
+        src = synthetic_store.probs_path("tinynet", "ORG", "val")
+        dst = synthetic_store.probs_path("tinynet", "pp-Hist", "val")
+        corrupt_file_truncate(src, dst, keep_fraction=0.3, seed=11)
+        runtime = EnsembleRuntime(synthetic_store)
+        result = runtime.run_model("tinynet", members=list(SYNTH_MEMBERS))
+        assert isinstance(result, DegradedResult)
+        assert "pp-Hist" in result.quarantined
+        assert result.quarantined["pp-Hist"]  # structured reason present
+
+    def test_below_minimum_raises_degraded_ensemble(self, synthetic_store):
+        runtime = EnsembleRuntime(synthetic_store, min_members=3)
+        with pytest.raises(DegradedEnsemble) as exc_info:
+            runtime.assemble("tinynet", "val", members=["ORG", "pp-Nope", "pp-AlsoNope"])
+        assert exc_info.value.available == ["ORG"]
+
+    def test_shape_disagreement_quarantines_member(self, synthetic_store, synthetic_cache):
+        bad = synthetic_cache / "tinynet" / "replica-001.val.probs.npz"
+        np.savez(bad, probs=np.full((8, 10), 0.1, dtype=np.float32))  # wrong N
+        runtime = EnsembleRuntime(synthetic_store)
+        batch = runtime.assemble("tinynet", "val", members=list(SYNTH_MEMBERS))
+        assert batch.quarantined.get("replica-001") == "probs-shape-disagrees"
+
+
+class TestSeedCacheSweep:
+    def test_run_cache_never_raises(self, seed_store):
+        """Every seed model is wholly corrupt, so the sweep must report a
+        structured skip per model rather than crash."""
+
+        runtime = EnsembleRuntime(seed_store)
+        outcomes = runtime.run_cache()
+        assert set(outcomes) == set(seed_store.models())
+        for model, outcome in outcomes.items():
+            assert isinstance(outcome, (EnsembleResult, ModelSkipped)), model
+            if isinstance(outcome, ModelSkipped):
+                assert outcome.reason in ("degraded-below-minimum", "error")
+
+    def test_mixed_cache_runs_valid_model_and_skips_corrupt(self, synthetic_cache, seed_store):
+        """A cache mixing one valid model with a corrupt one degrades per-model."""
+
+        import shutil
+
+        shutil.copytree(seed_store.model_dir("resnet20"), synthetic_cache / "resnet20")
+        from polygraphmr.store import ArtifactStore
+
+        runtime = EnsembleRuntime(ArtifactStore(synthetic_cache))
+        outcomes = runtime.run_cache()
+        assert isinstance(outcomes["tinynet"], EnsembleResult)
+        assert isinstance(outcomes["resnet20"], ModelSkipped)

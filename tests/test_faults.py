@@ -1,0 +1,135 @@
+"""Fault injection: reproducibility, measurable degradation, CLI."""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from polygraphmr.faults import (
+    FaultSpec,
+    build_synthetic_model,
+    corrupt_file_truncate,
+    inject_bitflips,
+    inject_gaussian,
+    main,
+    measure_degradation,
+    sanitize_probs,
+)
+from polygraphmr.store import ArtifactStore
+
+
+class TestInjectors:
+    def test_bitflips_seeded_reproducible(self):
+        arr = np.linspace(0.0, 1.0, 256, dtype=np.float32).reshape(16, 16)
+        a = inject_bitflips(arr, rate=0.1, rng=np.random.default_rng(9))
+        b = inject_bitflips(arr, rate=0.1, rng=np.random.default_rng(9))
+        c = inject_bitflips(arr, rate=0.1, rng=np.random.default_rng(10))
+        np.testing.assert_array_equal(a, b)
+        assert not np.array_equal(a, c)
+        # input untouched, and roughly rate*size elements changed
+        assert arr[0, 0] == 0.0
+        changed = (a != arr).sum()
+        assert 1 <= changed <= 26
+
+    def test_bitflip_zero_rate_is_identity(self):
+        arr = np.ones((4, 4), dtype=np.float32)
+        out = inject_bitflips(arr, rate=0.0, rng=np.random.default_rng(0))
+        np.testing.assert_array_equal(out, arr)
+
+    def test_gaussian_noise_scale(self):
+        arr = np.zeros((1000,))
+        out = inject_gaussian(arr, sigma=0.1, rng=np.random.default_rng(0))
+        assert 0.05 < out.std() < 0.15
+        assert arr.sum() == 0.0  # input untouched
+
+    def test_fault_spec_dispatch(self):
+        arr = np.full((8, 8), 0.5, dtype=np.float32)
+        assert FaultSpec("bitflip", rate=0.2, seed=1).apply(arr).shape == (8, 8)
+        assert FaultSpec("gaussian", sigma=0.1, seed=1).apply(arr).shape == (8, 8)
+        with pytest.raises(ValueError):
+            FaultSpec("rowhammer").apply(arr)
+
+    def test_sanitize_repairs_bitflipped_probs(self):
+        probs = np.full((32, 10), 0.1, dtype=np.float32)
+        faulted = inject_bitflips(probs, rate=0.05, rng=np.random.default_rng(2))
+        repaired = sanitize_probs(faulted)
+        assert np.isfinite(repaired).all()
+        np.testing.assert_allclose(repaired.sum(axis=1), 1.0, atol=1e-9)
+        assert (repaired >= 0).all()
+
+
+class TestArtifactCorruption:
+    def test_truncation_reproducible_and_smaller(self, tmp_path):
+        src = tmp_path / "src.npz"
+        np.savez(src, probs=np.random.default_rng(0).random((100, 10)))
+        a = corrupt_file_truncate(src, tmp_path / "a.npz", keep_fraction=0.5, seed=4)
+        b = corrupt_file_truncate(src, tmp_path / "b.npz", keep_fraction=0.5, seed=4)
+        assert a.read_bytes() == b.read_bytes()
+        assert a.stat().st_size < src.stat().st_size
+
+
+class TestDegradationMeasurement:
+    def test_bitflips_measurably_degrade_detection(self, synthetic_store):
+        """The acceptance-criterion API: seeded bit-flip injection produces a
+        measurable change in misprediction-detection metrics."""
+
+        spec = FaultSpec("bitflip", rate=0.05, seed=13)
+        report = measure_degradation(synthetic_store, "tinynet", spec, seed=0)
+        assert report["clean"]["auc"] > 0.6
+        deltas = report["delta"]
+        moved = max(abs(deltas[k]) for k in ("accuracy", "f1", "auc", "recall", "precision"))
+        assert moved > 0.01, f"injection produced no measurable change: {deltas}"
+
+    def test_report_reproducible(self, synthetic_store):
+        spec = FaultSpec("bitflip", rate=0.05, seed=13)
+        r1 = measure_degradation(synthetic_store, "tinynet", spec, seed=0)
+        r2 = measure_degradation(synthetic_store, "tinynet", spec, seed=0)
+        assert r1 == r2
+
+    def test_zero_fault_is_no_op_on_metrics(self, synthetic_store):
+        spec = FaultSpec("gaussian", sigma=0.0, seed=0)
+        report = measure_degradation(synthetic_store, "tinynet", spec, seed=0)
+        assert all(abs(v) < 1e-9 for v in report["delta"].values())
+
+
+class TestCLI:
+    def test_synthetic_run_exits_zero(self, tmp_path, capsys):
+        rc = main(["--synthetic", str(tmp_path / "demo"), "--rate", "0.02", "--seed", "3"])
+        out = json.loads(capsys.readouterr().out)
+        assert rc == 0
+        (report,) = out["reports"]
+        assert report["model"] == "synthetic"
+        assert "clean" in report and "faulted" in report
+
+    def test_seed_cache_run_reports_errors_not_crashes(self, capsys):
+        """Against the wholly-corrupt seed cache the CLI must finish, emit a
+        structured error per model, and signal failure via exit code."""
+
+        from .conftest import SEED_CACHE
+
+        if not SEED_CACHE.is_dir():
+            pytest.skip("seed cache absent")
+        rc = main(["--cache", str(SEED_CACHE), "--model", "resnet20"])
+        out = json.loads(capsys.readouterr().out)
+        assert rc == 1
+        (report,) = out["reports"]
+        assert "error" in report
+
+    def test_explicit_cache_dir(self, tmp_path, capsys):
+        build_synthetic_model(tmp_path, "m1", seed=5)
+        rc = main(["--cache", str(tmp_path), "--kind", "gaussian", "--sigma", "0.2"])
+        out = json.loads(capsys.readouterr().out)
+        assert rc == 0
+        assert out["reports"][0]["fault"]["kind"] == "gaussian"
+
+    def test_store_quarantines_synthetic_truncation_end_to_end(self, tmp_path):
+        """Artifact-level injector + store: the full robustness loop."""
+
+        build_synthetic_model(tmp_path, "m1", seed=6)
+        store = ArtifactStore(tmp_path)
+        src = store.probs_path("m1", "ORG", "val")
+        corrupt_file_truncate(src, src, keep_fraction=0.5, seed=7)
+        assert store.try_load_probs("m1", "ORG", "val") is None
+        assert store.is_quarantined(src)

@@ -1,0 +1,96 @@
+"""Canonical name mapping, exercised over every greedy file in the seed cache."""
+
+from __future__ import annotations
+
+import json
+import re
+
+import pytest
+
+from polygraphmr.errors import ArtifactCorrupt
+from polygraphmr.naming import (
+    STANDARD_PREPROCESSORS,
+    display_to_stem,
+    resolve_greedy_file,
+    standard_roster,
+    stem_to_display,
+)
+
+from .conftest import SEED_CACHE
+
+
+@pytest.mark.parametrize(
+    ("display", "stem"),
+    [
+        ("ORG", "ORG"),
+        ("Hist", "pp-Hist"),
+        ("AdHist", "pp-AdHist"),
+        ("ConNorm", "pp-ConNorm"),
+        ("FlipX", "pp-FlipX"),
+        ("FlipY", "pp-FlipY"),
+        ("ImAdj", "pp-ImAdj"),
+        ("Gamma(2)", "pp-Gamma_2"),
+        ("Gamma(1.5)", "pp-Gamma_1p5"),
+        ("replica-003", "replica-003"),
+    ],
+)
+def test_display_stem_round_trip(display: str, stem: str):
+    assert display_to_stem(display) == stem
+    assert stem_to_display(stem) == display
+
+
+def test_unknown_names_rejected():
+    with pytest.raises(ValueError):
+        display_to_stem("Gamma(2")  # unbalanced parens
+    with pytest.raises(ValueError):
+        stem_to_display("weird/stem")
+
+
+def test_standard_roster_is_complete():
+    roster = standard_roster()
+    assert roster[0] == "ORG"
+    assert len(roster) == 1 + len(STANDARD_PREPROCESSORS) + 5
+    assert "pp-Gamma_1p5" in roster
+    assert "replica-005" in roster
+
+
+def _all_greedy_files():
+    if not SEED_CACHE.is_dir():
+        return []
+    return sorted(SEED_CACHE.glob("*/greedy-*.json"))
+
+
+@pytest.mark.parametrize("greedy_path", _all_greedy_files(), ids=lambda p: f"{p.parent.name}/{p.name}")
+def test_every_seed_greedy_file_resolves(greedy_path):
+    """Every entry in every greedy file maps to a canonical stem, the stem
+    names real files in that model directory (possibly corrupt — presence is
+    what naming guarantees), and the mapping round-trips."""
+
+    stems = resolve_greedy_file(greedy_path)
+    k = int(re.match(r"greedy-(\d+)", greedy_path.name).group(1))
+    assert len(stems) == k
+    assert stems[0] == "ORG"
+    # models whose capture was cut short (resnet20) may lack files for some
+    # stems; a complete model directory must have them all
+    dir_complete = len(list(greedy_path.parent.glob("*.npz"))) >= 3 * len(standard_roster())
+    for stem in stems:
+        assert re.fullmatch(r"ORG|pp-[A-Za-z0-9]+(_[A-Za-z0-9p]+)?|replica-\d{3}", stem)
+        matches = list(greedy_path.parent.glob(f"{stem}.*"))
+        if dir_complete:
+            assert matches, f"{greedy_path}: stem {stem!r} names no files in {greedy_path.parent}"
+    # round-trip through display names is lossless
+    originals = json.loads(greedy_path.read_text())
+    assert [stem_to_display(s) for s in stems] == originals
+
+
+def test_resolve_greedy_rejects_bad_json(tmp_path):
+    bad = tmp_path / "greedy-4.json"
+    bad.write_text("{not json")
+    with pytest.raises(ArtifactCorrupt) as exc_info:
+        resolve_greedy_file(bad)
+    assert exc_info.value.reason == "bad-json"
+
+    not_list = tmp_path / "greedy-6.json"
+    not_list.write_text('{"a": 1}')
+    with pytest.raises(ArtifactCorrupt):
+        resolve_greedy_file(not_list)
