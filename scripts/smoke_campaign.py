@@ -1,0 +1,122 @@
+#!/usr/bin/env python3
+"""End-to-end crash/resume smoke test for the campaign runner.
+
+Builds a synthetic cache, starts a 5-trial campaign as a subprocess, SIGTERMs
+it once the journal shows 2 completed trials, resumes it, and asserts the
+journal ends up with exactly 5 checksum-valid trial records.  Exits 0 on
+success; any deviation is a hard failure.  Run by CI on every push::
+
+    PYTHONPATH=src python scripts/smoke_campaign.py
+"""
+
+from __future__ import annotations
+
+import json
+import signal
+import subprocess
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from polygraphmr.campaign import CampaignJournal  # noqa: E402
+
+N_TRIALS = 5
+KILL_AFTER = 2
+POLL_S = 0.05
+DEADLINE_S = 120.0
+
+
+def campaign_cmd(out_dir: Path, cache_dir: Path, *, resume: bool) -> list[str]:
+    cmd = [
+        sys.executable,
+        "-m",
+        "polygraphmr.campaign",
+        "--synthetic",
+        str(cache_dir),
+        "--out",
+        str(out_dir),
+        "--trials",
+        str(N_TRIALS),
+        "--seed",
+        "7",
+        "--timeout",
+        "60",
+    ]
+    if resume:
+        cmd.append("--resume")
+    return cmd
+
+
+def n_trials_journalled(journal: CampaignJournal) -> int:
+    try:
+        return len(journal.trial_records())
+    except Exception:  # torn mid-write while we poll — count what parses
+        return 0
+
+
+def attempt(kill_after: int) -> int | None:
+    """One kill/resume cycle; 0 = pass, 1 = fail, None = kill landed too
+    late to interrupt (caller should retry with an earlier kill point)."""
+
+    tmp = Path(tempfile.mkdtemp(prefix="polygraphmr-smoke-"))
+    out_dir, cache_dir = tmp / "campaign", tmp / "cache"
+    journal = CampaignJournal(out_dir / "journal.jsonl")
+
+    env = {"PYTHONPATH": str(REPO_ROOT / "src")}
+    proc = subprocess.Popen(campaign_cmd(out_dir, cache_dir, resume=False), env=env)
+    deadline = time.monotonic() + DEADLINE_S
+    while n_trials_journalled(journal) < kill_after:
+        if proc.poll() is not None:
+            print(f"FAIL: campaign exited ({proc.returncode}) before trial {kill_after}", file=sys.stderr)
+            return 1
+        if time.monotonic() > deadline:
+            proc.kill()
+            print("FAIL: timed out waiting for the first trials", file=sys.stderr)
+            return 1
+        time.sleep(POLL_S)
+    proc.send_signal(signal.SIGTERM)
+    proc.wait(timeout=60)
+    interrupted = n_trials_journalled(journal)
+    if interrupted >= N_TRIALS:
+        print(f"kill after {kill_after} landed too late ({interrupted} trials done); retrying")
+        return None
+    if interrupted < kill_after:
+        print(f"FAIL: journal lost trials after SIGTERM: {interrupted} < {kill_after}", file=sys.stderr)
+        return 1
+    print(f"killed after {interrupted} trial(s) (exit {proc.returncode}); resuming")
+
+    resumed = subprocess.run(campaign_cmd(out_dir, cache_dir, resume=True), env=env, capture_output=True, text=True)
+    if resumed.returncode != 0:
+        print(f"FAIL: resume exited {resumed.returncode}: {resumed.stderr}", file=sys.stderr)
+        return 1
+    summary = json.loads(resumed.stdout)
+
+    trials = journal.trial_records()
+    ok = (
+        len(trials) == N_TRIALS
+        and sorted(trials) == list(range(N_TRIALS))
+        and summary["completed"] == N_TRIALS
+        and all(r["outcome"] == "ok" for r in trials.values())
+    )
+    if not ok:
+        print(f"FAIL: journal holds {sorted(trials)} / summary {summary}", file=sys.stderr)
+        return 1
+    print(f"OK: {len(trials)} checksum-valid trial records after kill + resume")
+    return 0
+
+
+def main() -> int:
+    for kill_after in (KILL_AFTER, 1, 1):
+        status = attempt(kill_after)
+        if status is not None:
+            return status
+    print("FAIL: could not interrupt the campaign in three attempts", file=sys.stderr)
+    return 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,22 +1,27 @@
 """PolygraphMR: fault-tolerant misprediction detection for CNN ensembles.
 
-Four layers (see ``docs/ARCHITECTURE.md``):
+Layers (see ``docs/ARCHITECTURE.md``):
 
 1. Artifact store — validated, quarantining access to ``.repro_cache``
    (:mod:`polygraphmr.store`, :mod:`polygraphmr.integrity`,
-   :mod:`polygraphmr.manifest`, :mod:`polygraphmr.naming`).
+   :mod:`polygraphmr.manifest`, :mod:`polygraphmr.naming`), with opt-in
+   carving of damaged archives (:mod:`polygraphmr.salvage`).
 2. Ensemble runtime — graceful-degradation assembly + decision module
-   (:mod:`polygraphmr.ensemble`, :mod:`polygraphmr.decision`).
-3. Fault-injection harness (:mod:`polygraphmr.faults`).
+   (:mod:`polygraphmr.ensemble`, :mod:`polygraphmr.decision`), guarded by
+   per-submodel circuit breakers (:mod:`polygraphmr.breaker`).
+3. Fault-injection harness (:mod:`polygraphmr.faults`) and the crash-safe,
+   resumable campaign runner over it (:mod:`polygraphmr.campaign`).
 4. Error taxonomy + bounded retry (:mod:`polygraphmr.errors`).
 """
 
+from .breaker import BreakerBoard, BreakerPolicy, CircuitBreaker
 from .decision import DetectionMetrics, LogisticDecisionModule
 from .ensemble import DegradedResult, EnsembleResult, EnsembleRuntime, ModelSkipped
 from .errors import (
     ArtifactCorrupt,
     ArtifactError,
     ArtifactMissing,
+    CampaignError,
     DegradedEnsemble,
     IntegrityMismatch,
     PolygraphError,
@@ -26,20 +31,27 @@ from .errors import (
 )
 from .manifest import CacheManifest, ModelManifest
 from .naming import display_to_stem, resolve_greedy_file, stem_to_display
+from .salvage import SalvageReport, salvage_npz
 from .store import ArtifactStore
 
 __version__ = "0.1.0"
 
 _FAULT_EXPORTS = ("FaultSpec", "inject_bitflips", "inject_gaussian", "measure_degradation")
+_CAMPAIGN_EXPORTS = ("CampaignConfig", "CampaignJournal", "CampaignRunner", "TrialSpec")
 
 
 def __getattr__(name: str):
-    # Lazy so that `python -m polygraphmr.faults` doesn't import the module
-    # twice (package import + runpy __main__ execution).
+    # Lazy so that `python -m polygraphmr.faults` / `python -m
+    # polygraphmr.campaign` don't import those modules twice (package import
+    # + runpy __main__ execution).
     if name in _FAULT_EXPORTS:
         from . import faults
 
         return getattr(faults, name)
+    if name in _CAMPAIGN_EXPORTS:
+        from . import campaign
+
+        return getattr(campaign, name)
     raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 __all__ = [
@@ -47,7 +59,14 @@ __all__ = [
     "ArtifactError",
     "ArtifactMissing",
     "ArtifactStore",
+    "BreakerBoard",
+    "BreakerPolicy",
     "CacheManifest",
+    "CampaignConfig",
+    "CampaignError",
+    "CampaignJournal",
+    "CampaignRunner",
+    "CircuitBreaker",
     "DegradedEnsemble",
     "DegradedResult",
     "DetectionMetrics",
@@ -60,13 +79,16 @@ __all__ = [
     "ModelSkipped",
     "PolygraphError",
     "RetryPolicy",
+    "SalvageReport",
     "TransientIOError",
+    "TrialSpec",
     "display_to_stem",
     "inject_bitflips",
     "inject_gaussian",
     "measure_degradation",
     "resolve_greedy_file",
     "retry_with_backoff",
+    "salvage_npz",
     "stem_to_display",
     "__version__",
 ]

@@ -1,0 +1,162 @@
+"""Per-submodel circuit breakers for the ensemble runtime.
+
+A submodel whose artifacts fail validation once will very likely fail again
+on the next batch — yet without a breaker the runtime re-reads and re-parses
+the same corrupt bytes on every trial of a campaign.  Each (model, stem)
+pair therefore gets a small state machine:
+
+* **closed** — loads proceed normally.
+* **open** — tripped after ``failure_threshold`` *consecutive* corrupt-load
+  failures; the member is skipped without touching the disk.
+* **half-open** — after a cool-down the breaker admits exactly one probe
+  load; success closes it, failure re-opens it.
+
+The cool-down is measured in runtime *ticks* (one tick per
+:meth:`~polygraphmr.ensemble.EnsembleRuntime.run_model` call, i.e. per
+campaign trial), never wall-clock time, so a resumed campaign replays the
+same open/half-open/closed transitions as the run it replaces.  The whole
+board serialises to plain JSON for the campaign journal.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["CLOSED", "OPEN", "HALF_OPEN", "BreakerPolicy", "CircuitBreaker", "BreakerBoard"]
+
+CLOSED = "closed"
+OPEN = "open"
+HALF_OPEN = "half-open"
+
+
+@dataclass(frozen=True)
+class BreakerPolicy:
+    """When to trip and how long to stay open.
+
+    ``cooldown_ticks`` counts runtime ticks, not seconds — trial counts are
+    reproducible across resumes, wall-clock is not.
+    """
+
+    failure_threshold: int = 3
+    cooldown_ticks: int = 2
+
+
+class CircuitBreaker:
+    """State machine for one (model, stem) member."""
+
+    def __init__(self, policy: BreakerPolicy):
+        self.policy = policy
+        self.state = CLOSED
+        self.consecutive_failures = 0
+        self.opened_at_tick: int | None = None
+        self.n_skipped = 0  # cheap skips served while open
+
+    def allow(self, tick: int) -> bool:
+        """Whether a load may be attempted at ``tick``; flips open → half-open
+        when the cool-down has elapsed (the admitted load is the probe)."""
+
+        if self.state in (CLOSED, HALF_OPEN):
+            return True
+        assert self.opened_at_tick is not None
+        if tick - self.opened_at_tick >= self.policy.cooldown_ticks:
+            self.state = HALF_OPEN
+            return True
+        self.n_skipped += 1
+        return False
+
+    def record_success(self) -> None:
+        self.state = CLOSED
+        self.consecutive_failures = 0
+        self.opened_at_tick = None
+
+    def record_failure(self, tick: int) -> None:
+        self.consecutive_failures += 1
+        if self.state == HALF_OPEN or self.consecutive_failures >= self.policy.failure_threshold:
+            self.state = OPEN
+            self.opened_at_tick = tick
+
+    # -- serialisation ---------------------------------------------------
+
+    def snapshot(self) -> dict:
+        return {
+            "state": self.state,
+            "consecutive_failures": self.consecutive_failures,
+            "opened_at_tick": self.opened_at_tick,
+            "n_skipped": self.n_skipped,
+        }
+
+    def restore(self, snap: dict) -> None:
+        self.state = snap["state"]
+        self.consecutive_failures = int(snap["consecutive_failures"])
+        self.opened_at_tick = snap["opened_at_tick"]
+        self.n_skipped = int(snap.get("n_skipped", 0))
+
+
+class BreakerBoard:
+    """All breakers for one runtime/campaign, keyed ``"<model>/<stem>"``."""
+
+    def __init__(self, policy: BreakerPolicy | None = None):
+        self.policy = policy or BreakerPolicy()
+        self.tick_count = 0
+        self._breakers: dict[str, CircuitBreaker] = {}
+
+    @staticmethod
+    def key(model: str, stem: str) -> str:
+        return f"{model}/{stem}"
+
+    def breaker(self, model: str, stem: str) -> CircuitBreaker:
+        return self._breakers.setdefault(self.key(model, stem), CircuitBreaker(self.policy))
+
+    def tick(self) -> int:
+        """Advance the trial clock; called once per ``run_model``/trial."""
+
+        self.tick_count += 1
+        return self.tick_count
+
+    def allow(self, model: str, stem: str) -> bool:
+        return self.breaker(model, stem).allow(self.tick_count)
+
+    def record_success(self, model: str, stem: str) -> None:
+        self.breaker(model, stem).record_success()
+
+    def record_failure(self, model: str, stem: str) -> None:
+        self.breaker(model, stem).record_failure(self.tick_count)
+
+    def state(self, model: str, stem: str) -> str:
+        b = self._breakers.get(self.key(model, stem))
+        return b.state if b is not None else CLOSED
+
+    def non_closed(self) -> dict[str, str]:
+        """Every breaker not in the closed state, keyed ``"<model>/<stem>"``."""
+
+        return {k: b.state for k, b in sorted(self._breakers.items()) if b.state != CLOSED}
+
+    def states_for(self, model: str) -> dict[str, str]:
+        """Non-closed breaker states for one model's stems — what a
+        :class:`~polygraphmr.ensemble.DegradedResult` reports."""
+
+        prefix = f"{model}/"
+        return {
+            k.removeprefix(prefix): b.state
+            for k, b in sorted(self._breakers.items())
+            if k.startswith(prefix) and b.state != CLOSED
+        }
+
+    # -- serialisation ---------------------------------------------------
+
+    def snapshot(self) -> dict:
+        """Full JSON-serialisable state; journalled per trial so a resumed
+        campaign restores exactly the breaker behaviour mid-sweep."""
+
+        return {
+            "tick_count": self.tick_count,
+            "breakers": {k: b.snapshot() for k, b in sorted(self._breakers.items())},
+        }
+
+    def restore(self, snap: dict) -> None:
+        self.tick_count = int(snap.get("tick_count", 0))
+        self._breakers = {}
+        for k, s in snap.get("breakers", {}).items():
+            b = CircuitBreaker(self.policy)
+            b.restore(s)
+            self._breakers[k] = b

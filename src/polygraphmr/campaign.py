@@ -1,0 +1,575 @@
+"""Crash-safe, resumable fault-injection campaign runner.
+
+A reliability evaluation worth trusting takes thousands of configured
+injection trials (MRFI-style), which makes the *evaluation loop itself* the
+availability bottleneck: a sweep that dies at trial 4 312 of 5 000 must not
+lose everything, and a hung trial must not stall the fleet.  This runner is
+built around three guarantees:
+
+* **Write-ahead journal** — every trial outcome is one append-only JSONL
+  record carrying a SHA-256 checksum over its canonical JSON.  Records are
+  flushed and fsynced per trial, so at most the torn tail of the final line
+  is ever lost to a crash.
+* **Atomic checkpoints** — a small checksummed ``checkpoint.json`` is
+  replaced atomically after every trial; it cross-checks the journal on
+  resume and catches a journal that lost committed records.
+* **Deterministic trials** — each trial's spec is derived from
+  ``(campaign seed, trial index)`` alone, and the circuit-breaker board is
+  snapshotted into every record, so ``--resume`` replays the interrupted
+  campaign *exactly*: same specs, same breaker transitions, same results.
+
+A per-trial watchdog bounds each trial's wall-clock; a trial that exceeds it
+is journalled as ``trial_timeout`` and the sweep moves on.
+
+Run ``python -m polygraphmr.campaign --help`` for the CLI.
+"""
+
+from __future__ import annotations
+
+import argparse
+import hashlib
+import json
+import os
+import signal
+import sys
+import threading
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+
+import numpy as np
+
+from .breaker import BreakerBoard, BreakerPolicy
+from .ensemble import EnsembleRuntime
+from .errors import CampaignError
+from .faults import FaultSpec, build_synthetic_model, measure_degradation
+from .store import ArtifactStore
+
+__all__ = [
+    "OUTCOME_OK",
+    "OUTCOME_ERROR",
+    "OUTCOME_TIMEOUT",
+    "CampaignConfig",
+    "TrialSpec",
+    "CampaignJournal",
+    "read_checkpoint",
+    "write_checkpoint",
+    "CampaignRunner",
+    "main",
+]
+
+JOURNAL_NAME = "journal.jsonl"
+CHECKPOINT_NAME = "checkpoint.json"
+JOURNAL_VERSION = 1
+
+OUTCOME_OK = "ok"
+OUTCOME_ERROR = "error"
+OUTCOME_TIMEOUT = "trial_timeout"
+
+
+def _canonical(obj: dict) -> str:
+    return json.dumps(obj, sort_keys=True, separators=(",", ":"))
+
+
+def _sha256(text: str) -> str:
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()
+
+
+def _seal(record: dict) -> str:
+    """Serialise ``record`` with an embedded checksum over everything else."""
+
+    payload = dict(record)
+    payload["sha256"] = _sha256(_canonical(record))
+    return json.dumps(payload, sort_keys=True)
+
+
+@dataclass(frozen=True)
+class CampaignConfig:
+    """Everything that defines a campaign; journalled in the header record so
+    a resume can refuse to continue under different settings."""
+
+    cache: str
+    n_trials: int = 10
+    seed: int = 0
+    kinds: tuple[str, ...] = ("bitflip", "gaussian")
+    rates: tuple[float, ...] = (0.001, 0.01, 0.05)
+    sigmas: tuple[float, ...] = (0.02, 0.05, 0.1)
+    models: tuple[str, ...] = ()  # empty = every model in the cache
+    timeout_s: float = 120.0  # <= 0 disables the watchdog
+    allow_salvaged: bool = False
+    failure_threshold: int = 3
+    cooldown_ticks: int = 2
+    min_members: int = 2
+
+    def to_dict(self) -> dict:
+        return {
+            "cache": self.cache,
+            "n_trials": self.n_trials,
+            "seed": self.seed,
+            "kinds": list(self.kinds),
+            "rates": list(self.rates),
+            "sigmas": list(self.sigmas),
+            "models": list(self.models),
+            "timeout_s": self.timeout_s,
+            "allow_salvaged": self.allow_salvaged,
+            "failure_threshold": self.failure_threshold,
+            "cooldown_ticks": self.cooldown_ticks,
+            "min_members": self.min_members,
+        }
+
+
+@dataclass(frozen=True)
+class TrialSpec:
+    """One trial's full parameterisation — a pure function of (seed, index)."""
+
+    index: int
+    model: str
+    kind: str
+    rate: float
+    sigma: float
+    fault_seed: int
+
+    def to_dict(self) -> dict:
+        return {
+            "index": self.index,
+            "model": self.model,
+            "kind": self.kind,
+            "rate": self.rate,
+            "sigma": self.sigma,
+            "fault_seed": self.fault_seed,
+        }
+
+
+def derive_trial_spec(config: CampaignConfig, models: list[str], index: int) -> TrialSpec:
+    """Deterministically derive trial ``index``'s spec.
+
+    Seeded with ``[config.seed, index]`` so any trial can be re-derived in
+    isolation — the property that makes resume exact.
+    """
+
+    if not models:
+        raise CampaignError("no-models", f"cache {config.cache!r} has no model directories")
+    rng = np.random.default_rng([config.seed, index])
+    return TrialSpec(
+        index=index,
+        model=models[index % len(models)],
+        kind=config.kinds[int(rng.integers(len(config.kinds)))],
+        rate=float(config.rates[int(rng.integers(len(config.rates)))]),
+        sigma=float(config.sigmas[int(rng.integers(len(config.sigmas)))]),
+        fault_seed=int(rng.integers(2**31 - 1)),
+    )
+
+
+class CampaignJournal:
+    """Append-only JSONL write-ahead journal with per-record checksums."""
+
+    def __init__(self, path: str | Path):
+        self.path = Path(path)
+
+    def append(self, record: dict) -> None:
+        """Durably append one record: single write, flush, fsync."""
+
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        with open(self.path, "a", encoding="utf-8") as fh:
+            fh.write(_seal(record) + "\n")
+            fh.flush()
+            os.fsync(fh.fileno())
+
+    def _read_verified(self) -> tuple[list[dict], int]:
+        """(verified records, byte length of the valid prefix).
+
+        A torn or corrupt *final* line is dropped — that is exactly the
+        crash-mid-append this journal exists to survive.  Damage anywhere
+        earlier means committed history was altered and raises
+        :class:`CampaignError`.
+        """
+
+        if not self.path.is_file():
+            return [], 0
+        records: list[dict] = []
+        raw = self.path.read_bytes()
+        lines = raw.split(b"\n")
+        offset = 0
+        for i, line in enumerate(lines):
+            if line == b"" and i == len(lines) - 1:
+                break  # trailing newline of the last complete record
+            bad = None
+            payload: dict = {}
+            try:
+                payload = json.loads(line.decode("utf-8"))
+                claimed = payload.pop("sha256", None) if isinstance(payload, dict) else None
+                if not isinstance(payload, dict) or claimed != _sha256(_canonical(payload)):
+                    bad = "journal-bad-checksum"
+            except (json.JSONDecodeError, UnicodeDecodeError):
+                bad = "journal-unparseable-line"
+            if bad is not None:
+                if i >= len(lines) - 2:  # last line, torn (with or without the final \n)
+                    break
+                raise CampaignError(bad, f"{self.path} line {i + 1}")
+            records.append(payload)
+            offset += len(line) + 1
+        return records, offset
+
+    def read(self) -> list[dict]:
+        return self._read_verified()[0]
+
+    def repair_tail(self) -> list[dict]:
+        """Drop any torn final line *from the file itself* so the next append
+        starts on a fresh line; returns the surviving records."""
+
+        records, offset = self._read_verified()
+        if self.path.is_file() and offset < self.path.stat().st_size:
+            with open(self.path, "r+b") as fh:
+                fh.truncate(offset)
+                fh.flush()
+                os.fsync(fh.fileno())
+        return records
+
+    def trial_records(self) -> dict[int, dict]:
+        return {r["index"]: r for r in self.read() if r.get("type") == "trial"}
+
+
+def write_checkpoint(path: str | Path, payload: dict) -> None:
+    """Atomically replace the checkpoint: tmp file + fsync + ``os.replace``."""
+
+    p = Path(path)
+    body = dict(payload)
+    body["sha256"] = _sha256(_canonical(payload))
+    tmp = p.with_name(p.name + ".tmp")
+    with open(tmp, "w", encoding="utf-8") as fh:
+        json.dump(body, fh, sort_keys=True, indent=2)
+        fh.flush()
+        os.fsync(fh.fileno())
+    os.replace(tmp, p)
+
+
+def read_checkpoint(path: str | Path) -> dict | None:
+    """The checkpoint payload, or ``None`` when absent or checksum-invalid.
+
+    The journal is the source of truth; an unreadable checkpoint merely
+    forfeits the fast consistency cross-check.
+    """
+
+    p = Path(path)
+    if not p.is_file():
+        return None
+    try:
+        body = json.loads(p.read_text(encoding="utf-8"))
+    except (json.JSONDecodeError, OSError):
+        return None
+    if not isinstance(body, dict):
+        return None
+    claimed = body.pop("sha256", None)
+    if claimed != _sha256(_canonical(body)):
+        return None
+    return body
+
+
+class CampaignRunner:
+    """Drives trials through the journal/checkpoint machinery.
+
+    ``trial_fn(spec) -> dict`` is injectable for tests (e.g. to fake a hang
+    for the watchdog); the default runs
+    :func:`polygraphmr.faults.measure_degradation` against a shared store,
+    runtime, and circuit-breaker board.
+    """
+
+    def __init__(
+        self,
+        config: CampaignConfig,
+        out_dir: str | Path,
+        *,
+        trial_fn=None,
+        audit: dict | None = None,
+    ):
+        self.config = config
+        self.out_dir = Path(out_dir)
+        self.out_dir.mkdir(parents=True, exist_ok=True)
+        self.journal = CampaignJournal(self.out_dir / JOURNAL_NAME)
+        self.checkpoint_path = self.out_dir / CHECKPOINT_NAME
+        self.audit = audit
+        self._trial_fn = trial_fn or self._run_trial
+        self._stop = threading.Event()
+        self._build_runtime()
+        self.models = list(config.models) if config.models else self.store.models()
+
+    def _build_runtime(self, breaker_snapshot: dict | None = None) -> None:
+        self.store = ArtifactStore(self.config.cache, allow_salvaged=self.config.allow_salvaged)
+        self.board = BreakerBoard(
+            BreakerPolicy(self.config.failure_threshold, self.config.cooldown_ticks)
+        )
+        if breaker_snapshot is not None:
+            self.board.restore(breaker_snapshot)
+        self.runtime = EnsembleRuntime(
+            self.store,
+            min_members=self.config.min_members,
+            seed=self.config.seed,
+            breakers=self.board,
+        )
+
+    def request_stop(self) -> None:
+        """Finish the in-flight trial, journal it, then exit the loop —
+        the graceful-SIGTERM path."""
+
+        self._stop.set()
+
+    # -- trial execution -------------------------------------------------
+
+    def _run_trial(self, spec: TrialSpec) -> dict:
+        fault = FaultSpec(kind=spec.kind, rate=spec.rate, sigma=spec.sigma, seed=spec.fault_seed)
+        return measure_degradation(
+            self.store, spec.model, fault, seed=self.config.seed, runtime=self.runtime
+        )
+
+    def _call_with_watchdog(self, spec: TrialSpec):
+        """(outcome, value, error) — never raises, never hangs past the timeout."""
+
+        if self.config.timeout_s <= 0:
+            try:
+                return OUTCOME_OK, self._trial_fn(spec), None
+            except Exception as exc:  # noqa: BLE001 - outcome, not crash
+                return OUTCOME_ERROR, None, exc
+        box: dict = {}
+
+        def target() -> None:
+            try:
+                box["value"] = self._trial_fn(spec)
+            except BaseException as exc:  # noqa: BLE001
+                box["error"] = exc
+
+        worker = threading.Thread(target=target, daemon=True, name=f"trial-{spec.index}")
+        worker.start()
+        worker.join(self.config.timeout_s)
+        if worker.is_alive():
+            return OUTCOME_TIMEOUT, None, None
+        if "error" in box:
+            return OUTCOME_ERROR, None, box["error"]
+        return OUTCOME_OK, box.get("value"), None
+
+    def _execute_trial(self, index: int) -> dict:
+        spec = derive_trial_spec(self.config, self.models, index)
+        pre_breakers = self.board.snapshot()
+        started = time.monotonic()
+        outcome, value, error = self._call_with_watchdog(spec)
+        record = {
+            "type": "trial",
+            "index": index,
+            "spec": spec.to_dict(),
+            "outcome": outcome,
+            "elapsed_s": round(time.monotonic() - started, 3),
+        }
+        if outcome == OUTCOME_TIMEOUT:
+            # The abandoned worker thread still holds the old store/board;
+            # rebuild both from the pre-trial snapshot so it cannot mutate
+            # anything the remaining trials depend on.
+            self._build_runtime(breaker_snapshot=pre_breakers)
+            record["breakers"] = pre_breakers
+        else:
+            record["breakers"] = self.board.snapshot()
+        if outcome == OUTCOME_OK:
+            record["result"] = value
+        elif outcome == OUTCOME_ERROR:
+            record["error"] = repr(error)
+        return record
+
+    # -- resume plumbing -------------------------------------------------
+
+    def _header_record(self) -> dict:
+        record = {
+            "type": "header",
+            "version": JOURNAL_VERSION,
+            "config": self.config.to_dict(),
+            "models": self.models,
+        }
+        if self.audit is not None:
+            record["audit"] = self.audit
+        return record
+
+    def _load_resume_state(self) -> tuple[dict[int, dict], int]:
+        """(completed trials, journal record count) after tail repair and
+        consistency checks; restores the breaker board mid-sweep."""
+
+        records = self.journal.repair_tail()
+        if not records:
+            self.journal.append(self._header_record())
+            return {}, 1
+        header = records[0]
+        if header.get("type") != "header":
+            raise CampaignError("journal-no-header", str(self.journal.path))
+        if header.get("config") != self.config.to_dict():
+            raise CampaignError(
+                "config-mismatch",
+                "journal was written by a campaign with different settings; "
+                "start a fresh --out directory instead",
+            )
+        checkpoint = read_checkpoint(self.checkpoint_path)
+        if checkpoint is not None and checkpoint.get("journal_records", 0) > len(records):
+            raise CampaignError(
+                "journal-behind-checkpoint",
+                f"checkpoint committed {checkpoint['journal_records']} record(s) "
+                f"but the journal holds {len(records)} — committed history was lost",
+            )
+        # pin the model roster to what the interrupted run saw, so the
+        # index -> model assignment cannot drift if the cache changed
+        self.models = list(header.get("models", self.models))
+        trials = {r["index"]: r for r in records if r.get("type") == "trial"}
+        if trials:
+            last = trials[max(trials)]
+            self._build_runtime(breaker_snapshot=last.get("breakers"))
+        return trials, len(records)
+
+    def _write_checkpoint(self, done: dict[int, dict], journal_records: int) -> None:
+        next_index = next(
+            (i for i in range(self.config.n_trials) if i not in done), self.config.n_trials
+        )
+        write_checkpoint(
+            self.checkpoint_path,
+            {
+                "version": JOURNAL_VERSION,
+                "n_trials": self.config.n_trials,
+                "completed": len(done),
+                "next_index": next_index,
+                "journal_records": journal_records,
+            },
+        )
+
+    # -- the loop --------------------------------------------------------
+
+    def run(self, *, resume: bool = False, max_new_trials: int | None = None) -> dict:
+        """Run (or resume) the campaign; returns a summary dict.
+
+        Without ``resume``, an existing non-empty journal is refused rather
+        than clobbered.  ``max_new_trials`` bounds how many *new* trials this
+        call executes — tests use it to simulate a mid-campaign crash.
+        """
+
+        if resume:
+            done, journal_records = self._load_resume_state()
+        else:
+            if self.journal.repair_tail():
+                raise CampaignError(
+                    "journal-exists",
+                    f"{self.journal.path} already holds records; pass resume=True / --resume",
+                )
+            self.journal.append(self._header_record())
+            done = {}
+            journal_records = 1
+
+        new_trials = 0
+        stopped_early = False
+        for index in range(self.config.n_trials):
+            if index in done:
+                continue
+            if self._stop.is_set() or (max_new_trials is not None and new_trials >= max_new_trials):
+                stopped_early = True
+                break
+            record = self._execute_trial(index)
+            self.journal.append(record)
+            journal_records += 1
+            done[index] = record
+            new_trials += 1
+            self._write_checkpoint(done, journal_records)
+
+        outcomes = {OUTCOME_OK: 0, OUTCOME_ERROR: 0, OUTCOME_TIMEOUT: 0}
+        for record in done.values():
+            outcomes[record["outcome"]] = outcomes.get(record["outcome"], 0) + 1
+        return {
+            "n_trials": self.config.n_trials,
+            "completed": len(done),
+            "new_trials": new_trials,
+            "stopped_early": stopped_early or self._stop.is_set(),
+            "outcomes": outcomes,
+            "breakers": self.board.non_closed(),
+            "journal": str(self.journal.path),
+            "checkpoint": str(self.checkpoint_path),
+        }
+
+
+# -- CLI -------------------------------------------------------------------
+
+
+def _csv(cast):
+    def parse(text: str):
+        return tuple(cast(part) for part in text.split(",") if part)
+
+    return parse
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m polygraphmr.campaign",
+        description="Run a crash-safe, resumable fault-injection campaign.",
+    )
+    parser.add_argument("--cache", default=".repro_cache", help="cache root (default: .repro_cache)")
+    parser.add_argument("--out", required=True, help="campaign directory for journal + checkpoint")
+    parser.add_argument("--trials", type=int, default=10, help="total trial count (default: 10)")
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--models", type=_csv(str), default=(), help="comma-separated model subset")
+    parser.add_argument("--kinds", type=_csv(str), default=("bitflip", "gaussian"))
+    parser.add_argument("--rates", type=_csv(float), default=(0.001, 0.01, 0.05))
+    parser.add_argument("--sigmas", type=_csv(float), default=(0.02, 0.05, 0.1))
+    parser.add_argument("--timeout", type=float, default=120.0, help="per-trial watchdog seconds; <=0 disables")
+    parser.add_argument("--resume", action="store_true", help="continue at the first unfinished trial")
+    parser.add_argument("--allow-salvaged", action="store_true", help="serve carved arrays from corrupt npz")
+    parser.add_argument("--failure-threshold", type=int, default=3)
+    parser.add_argument("--cooldown-ticks", type=int, default=2)
+    parser.add_argument("--min-members", type=int, default=2)
+    parser.add_argument(
+        "--audit-json",
+        default=None,
+        help="path to `scripts/audit_cache.py --json` output to embed in the journal header",
+    )
+    parser.add_argument(
+        "--synthetic",
+        metavar="DIR",
+        default=None,
+        help="build a synthetic model under DIR and campaign against it",
+    )
+    args = parser.parse_args(argv)
+
+    cache = args.cache
+    if args.synthetic is not None:
+        build_synthetic_model(args.synthetic, seed=args.seed)
+        cache = args.synthetic
+
+    audit = None
+    if args.audit_json is not None:
+        try:
+            audit = json.loads(Path(args.audit_json).read_text(encoding="utf-8")).get("totals")
+        except (OSError, json.JSONDecodeError) as exc:
+            print(f"warning: could not read audit json {args.audit_json!r}: {exc!r}", file=sys.stderr)
+
+    config = CampaignConfig(
+        cache=str(cache),
+        n_trials=args.trials,
+        seed=args.seed,
+        kinds=args.kinds,
+        rates=args.rates,
+        sigmas=args.sigmas,
+        models=args.models,
+        timeout_s=args.timeout,
+        allow_salvaged=args.allow_salvaged,
+        failure_threshold=args.failure_threshold,
+        cooldown_ticks=args.cooldown_ticks,
+        min_members=args.min_members,
+    )
+    runner = CampaignRunner(config, args.out, audit=audit)
+
+    def handle_stop(_signum, _frame):
+        runner.request_stop()
+
+    signal.signal(signal.SIGTERM, handle_stop)
+    signal.signal(signal.SIGINT, handle_stop)
+
+    try:
+        summary = runner.run(resume=args.resume)
+    except CampaignError as exc:
+        print(f"campaign error: {exc}", file=sys.stderr)
+        return 2
+    json.dump(summary, sys.stdout, indent=2)
+    sys.stdout.write("\n")
+    return 0 if summary["completed"] == config.n_trials else 3
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

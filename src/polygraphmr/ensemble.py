@@ -14,6 +14,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from .breaker import BreakerBoard
 from .decision import DetectionMetrics, LogisticDecisionModule, ensemble_features, misprediction_targets
 from .errors import DegradedEnsemble
 from .store import ArtifactStore
@@ -52,6 +53,7 @@ class EnsembleResult:
     metrics: DetectionMetrics | None  # None when no labels are available
     missing: list[str] = field(default_factory=list)
     quarantined: dict[str, str] = field(default_factory=dict)
+    breakers: dict[str, str] = field(default_factory=dict)  # stem -> non-closed state
 
 
 @dataclass
@@ -82,11 +84,13 @@ class EnsembleRuntime:
         min_members: int = 2,
         decision_factory=LogisticDecisionModule,
         seed: int = 0,
+        breakers: BreakerBoard | None = None,
     ):
         self.store = store
         self.min_members = min_members
         self.decision_factory = decision_factory
         self.seed = seed
+        self.breakers = breakers
 
     # -- assembly --------------------------------------------------------
 
@@ -115,6 +119,12 @@ class EnsembleRuntime:
 
         Raises :class:`DegradedEnsemble` only when fewer than ``min_members``
         members survive validation (ORG included).
+
+        When a :class:`~polygraphmr.breaker.BreakerBoard` is attached, a
+        member whose breaker is open is skipped without touching the disk
+        (reported quarantined as ``"circuit-open"``), and every corrupt load
+        feeds the breaker.  Missing files do not trip breakers — a ``stat``
+        is cheap; the breaker exists to avoid re-reading corrupt bytes.
         """
 
         plan = members if members is not None else self.member_plan(model, greedy=None)
@@ -123,6 +133,9 @@ class EnsembleRuntime:
         quarantined: dict[str, str] = {}
         n_shape: tuple[int, ...] | None = None
         for stem in plan:
+            if self.breakers is not None and not self.breakers.allow(model, stem):
+                quarantined[stem] = "circuit-open"
+                continue
             path = self.store.probs_path(model, stem, split)
             if not path.is_file():
                 missing.append(stem)
@@ -130,13 +143,19 @@ class EnsembleRuntime:
             probs = self.store.try_load_probs(model, stem, split)
             if probs is None:
                 quarantined[stem] = self.store.quarantine.get(str(path), "unknown")
+                if self.breakers is not None:
+                    self.breakers.record_failure(model, stem)
                 continue
             if n_shape is not None and probs.shape != n_shape:
                 quarantined[stem] = "probs-shape-disagrees"
                 self.store.quarantine[str(path)] = "probs-shape-disagrees"
+                if self.breakers is not None:
+                    self.breakers.record_failure(model, stem)
                 continue
             n_shape = probs.shape if n_shape is None else n_shape
             loaded[stem] = probs
+            if self.breakers is not None:
+                self.breakers.record_success(model, stem)
         survivors = [s for s in plan if s in loaded]
         if len(survivors) < self.min_members:
             raise DegradedEnsemble(model, survivors, self.min_members)
@@ -172,8 +191,13 @@ class EnsembleRuntime:
         Members are the intersection of the survivors on both splits so the
         feature layout is identical at train and eval time.  Returns
         :class:`DegradedResult` whenever any planned member dropped out.
+
+        Each call advances the breaker board's trial clock by one tick, so
+        open-breaker cool-downs are counted in trials, not wall-clock.
         """
 
+        if self.breakers is not None:
+            self.breakers.tick()
         plan = members if members is not None else self.member_plan(model, greedy=greedy)
         val = self.assemble(model, "val", members=plan)
         test = self.assemble(model, "test", members=plan)
@@ -203,6 +227,7 @@ class EnsembleRuntime:
 
         batch = EnsembleBatch(model=model, split="test", members=common, stacked=test_stack)
         predictions = self.aggregate(batch)
+        breaker_states = self.breakers.states_for(model) if self.breakers is not None else {}
         cls = DegradedResult if (missing or quarantined) else EnsembleResult
         return cls(
             model=model,
@@ -213,6 +238,7 @@ class EnsembleRuntime:
             metrics=metrics,
             missing=missing,
             quarantined=quarantined,
+            breakers=breaker_states,
         )
 
     def run_cache(self) -> dict[str, EnsembleResult | ModelSkipped]:

@@ -8,6 +8,7 @@ parsing message strings.
 
 from __future__ import annotations
 
+import random
 import time
 from dataclasses import dataclass, field
 from pathlib import Path
@@ -21,6 +22,7 @@ __all__ = [
     "IntegrityMismatch",
     "DegradedEnsemble",
     "TransientIOError",
+    "CampaignError",
     "RetryPolicy",
     "retry_with_backoff",
 ]
@@ -95,24 +97,58 @@ class TransientIOError(PolygraphError):
         )
 
 
+class CampaignError(PolygraphError):
+    """A fault-injection campaign cannot proceed (journal/checkpoint damage,
+    inconsistent resume state, ...).  Carries a machine-readable ``reason``."""
+
+    def __init__(self, reason: str, detail: str = ""):
+        self.reason = reason
+        self.detail = detail
+        msg = reason if not detail else f"{reason} ({detail})"
+        super().__init__(msg)
+
+
 T = TypeVar("T")
 
 
 @dataclass(frozen=True)
 class RetryPolicy:
-    """Bounded exponential backoff.
+    """Bounded exponential backoff with deterministic seeded jitter.
 
-    ``sleep`` is injectable so tests never actually wait.
+    ``sleep`` is injectable so tests never actually wait.  The jitter is drawn
+    from a PRNG seeded with ``seed`` alone, so the same policy always produces
+    the same sleep schedule — a resumed campaign retries exactly like the run
+    it replaces.  ``max_total_sleep`` caps the summed backoff of one
+    :func:`retry_with_backoff` call so a retry storm cannot stall a sweep.
     """
 
     attempts: int = 3
     base_delay: float = 0.05
     max_delay: float = 1.0
+    jitter: float = 0.0  # fraction of each delay added, in [0, 1]
+    seed: int = 0
+    max_total_sleep: float = 5.0
     retry_on: tuple[type[BaseException], ...] = (OSError,)
     sleep: Callable[[float], None] = field(default=time.sleep)
 
-    def delay_for(self, attempt: int) -> float:
-        return min(self.base_delay * (2**attempt), self.max_delay)
+    def delay_for(self, attempt: int, *, rng: random.Random | None = None) -> float:
+        delay = min(self.base_delay * (2**attempt), self.max_delay)
+        if self.jitter > 0.0 and rng is not None:
+            delay *= 1.0 + self.jitter * rng.random()
+        return delay
+
+    def schedule(self) -> list[float]:
+        """The full (deterministic) sleep schedule this policy would follow,
+        after jitter and the total-sleep cap — handy for tests and audits."""
+
+        rng = random.Random(self.seed)
+        out: list[float] = []
+        budget = self.max_total_sleep
+        for attempt in range(max(0, self.attempts - 1)):
+            delay = min(self.delay_for(attempt, rng=rng), budget)
+            out.append(delay)
+            budget -= delay
+        return out
 
 
 def retry_with_backoff(
@@ -127,16 +163,21 @@ def retry_with_backoff(
     propagates immediately.  Once attempts are exhausted the last error is
     wrapped in :class:`TransientIOError` so callers can distinguish "the disk
     hiccuped" from "the file is garbage".
+
+    Sleeps follow ``policy.schedule()``: seeded jitter keeps the schedule
+    reproducible across runs, and the summed sleep never exceeds
+    ``policy.max_total_sleep``.
     """
 
     policy = policy or RetryPolicy()
+    schedule = policy.schedule()
     last: BaseException | None = None
     for attempt in range(policy.attempts):
         try:
             return fn()
         except policy.retry_on as exc:  # noqa: PERF203 - loop is the point
             last = exc
-            if attempt + 1 < policy.attempts:
-                policy.sleep(policy.delay_for(attempt))
+            if attempt + 1 < policy.attempts and schedule[attempt] > 0.0:
+                policy.sleep(schedule[attempt])
     assert last is not None
     raise TransientIOError(path, policy.attempts, last)

@@ -133,6 +133,7 @@ def measure_degradation(
     *,
     members: list[str] | None = None,
     seed: int = 0,
+    runtime: EnsembleRuntime | None = None,
 ) -> dict:
     """Clean-vs-faulted misprediction-detection metrics for one model.
 
@@ -140,9 +141,16 @@ def measure_degradation(
     clean ``test`` split and on a copy with ``spec`` injected into every
     member's probabilities (sanitised back onto the simplex so the module
     sees plausible-but-wrong inputs rather than crashing).
+
+    Pass ``runtime`` to reuse one :class:`EnsembleRuntime` across many
+    calls — the campaign runner does this so its circuit-breaker board
+    accumulates state over trials instead of resetting every time.
     """
 
-    runtime = EnsembleRuntime(store, seed=seed)
+    if runtime is None:
+        runtime = EnsembleRuntime(store, seed=seed)
+    if runtime.breakers is not None:
+        runtime.breakers.tick()
     plan = members if members is not None else runtime.member_plan(model)
     val = runtime.assemble(model, "val", members=plan)
     test = runtime.assemble(model, "test", members=plan)

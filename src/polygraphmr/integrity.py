@@ -25,7 +25,9 @@ from .errors import ArtifactCorrupt, ArtifactMissing, IntegrityMismatch, RetryPo
 
 __all__ = [
     "IntegrityReport",
+    "EndOfCentralDirectory",
     "read_bytes",
+    "find_eocd",
     "validate_zip_container",
     "load_npz_validated",
     "check_probs",
@@ -34,8 +36,38 @@ __all__ = [
 ]
 
 ZIP_MAGIC = b"PK\x03\x04"
+CDH_MAGIC = b"PK\x01\x02"
 EOCD_MAGIC = b"PK\x05\x06"
 SIMPLEX_ATOL = 1e-3
+
+
+@dataclass(frozen=True)
+class EndOfCentralDirectory:
+    """Parsed end-of-central-directory record of a zip container."""
+
+    offset: int  # where the EOCD signature sits in the file
+    n_total: int  # member count the archive claims
+    cd_size: int
+    cd_offset: int
+
+    @property
+    def consistent(self) -> bool:
+        """Whether the claimed central directory fits before the EOCD —
+        false for the mid-file truncation pattern in the seed cache."""
+
+        return self.cd_offset + self.cd_size <= self.offset
+
+
+def find_eocd(data: bytes) -> EndOfCentralDirectory | None:
+    """Locate and parse the EOCD record, or ``None`` when absent/unparseable."""
+
+    at = data.rfind(EOCD_MAGIC)
+    if at < 0 or at + 22 > len(data):
+        return None
+    # EOCD layout: sig(4) disk(2) cd_disk(2) n_here(2) n_total(2) cd_size(4) cd_offset(4)
+    n_total = struct.unpack_from("<H", data, at + 10)[0]
+    cd_size, cd_offset = struct.unpack_from("<II", data, at + 12)
+    return EndOfCentralDirectory(offset=at, n_total=n_total, cd_size=cd_size, cd_offset=cd_offset)
 
 
 @dataclass
@@ -82,20 +114,17 @@ def validate_zip_container(path: str | Path, *, data: bytes | None = None) -> In
         return IntegrityReport(str(p), False, "empty", "0-byte file")
     if not data.startswith(ZIP_MAGIC):
         return IntegrityReport(str(p), False, "bad-magic", f"header={data[:4].hex()}")
-    eocd_at = data.rfind(EOCD_MAGIC)
-    if eocd_at < 0:
+    eocd = find_eocd(data)
+    if eocd is None:
         return IntegrityReport(str(p), False, "no-eocd", "end-of-central-directory record missing")
-    if eocd_at + 22 <= len(data):
-        # EOCD layout: sig(4) disk(2) cd_disk(2) n_here(2) n_total(2) cd_size(4) cd_offset(4)
-        cd_size, cd_offset = struct.unpack_from("<II", data, eocd_at + 12)
-        if cd_offset + cd_size > eocd_at:
-            return IntegrityReport(
-                str(p),
-                False,
-                "truncated",
-                f"central directory claims offset={cd_offset} size={cd_size} "
-                f"but EOCD sits at {eocd_at} (bytes cut from the middle)",
-            )
+    if not eocd.consistent:
+        return IntegrityReport(
+            str(p),
+            False,
+            "truncated",
+            f"central directory claims offset={eocd.cd_offset} size={eocd.cd_size} "
+            f"but EOCD sits at {eocd.offset} (bytes cut from the middle)",
+        )
     try:
         with zipfile.ZipFile(io.BytesIO(data)) as zf:
             members = zf.namelist()

@@ -1,0 +1,242 @@
+"""Best-effort recovery of damaged ``.npz`` artifacts.
+
+The seed cache's dominant failure mode is a mid-file byte cut: the zip's
+end-of-central-directory record survives at the tail but points past the
+truncation, so ``zipfile`` (and therefore ``np.load``) refuses the whole
+archive — even when some member streams are still byte-for-byte intact.
+
+This module carves the archive instead of trusting its directory: it scans
+for local-file-header signatures, sanity-checks each candidate, inflates the
+member stream defensively (stopping at the deflate terminator rather than
+trusting the header's compressed size), verifies CRC where one is recorded,
+and parses whatever decodes as a valid ``.npy`` payload.  The outcome is a
+:class:`SalvageReport` naming every recovered and lost member, which the
+artifact store can consume via its opt-in ``allow_salvaged=True`` mode.
+"""
+
+from __future__ import annotations
+
+import io
+import struct
+import zlib
+from dataclasses import dataclass, field
+from pathlib import Path
+
+import numpy as np
+
+from .integrity import ZIP_MAGIC, find_eocd, read_bytes
+
+__all__ = [
+    "RECOVERED",
+    "TRUNCATED",
+    "CRC_MISMATCH",
+    "UNDECODABLE",
+    "MemberOutcome",
+    "SalvageReport",
+    "salvage_npz",
+]
+
+# member outcome codes
+RECOVERED = "recovered"
+TRUNCATED = "truncated"  # compressed stream never terminates (runs into the cut)
+CRC_MISMATCH = "crc-mismatch"  # inflates, but not to the bytes the header promised
+UNDECODABLE = "undecodable"  # inflates, but is not a readable .npy payload
+
+# local file header after the 4-byte signature:
+# ver(2) flags(2) method(2) mtime(2) mdate(2) crc(4) csize(4) usize(4) nlen(2) elen(2)
+_LFH_FIXED = struct.Struct("<HHHHHIIIHH")
+_MAX_NAME_LEN = 128
+_MAX_EXTRA_LEN = 512
+_FLAG_ENCRYPTED = 0x1
+
+
+@dataclass(frozen=True)
+class MemberOutcome:
+    """What happened to one candidate archive member during carving."""
+
+    name: str
+    offset: int
+    status: str
+    detail: str = ""
+
+    @property
+    def ok(self) -> bool:
+        return self.status == RECOVERED
+
+
+@dataclass
+class SalvageReport:
+    """Everything recovered (and lost) from one damaged archive."""
+
+    path: str
+    size: int
+    expected_members: int | None  # EOCD's member count when parseable
+    outcomes: list[MemberOutcome] = field(default_factory=list)
+    arrays: dict[str, np.ndarray] = field(default_factory=dict, repr=False)
+
+    @property
+    def recovered(self) -> list[str]:
+        return sorted(self.arrays)
+
+    @property
+    def n_recovered(self) -> int:
+        return len(self.arrays)
+
+    @property
+    def n_lost(self) -> int:
+        """Members known to exist but not recovered.
+
+        Uses the EOCD's claimed member count when available (the cut can
+        erase a member's header entirely, leaving no carving candidate);
+        otherwise falls back to counting failed candidates.
+        """
+
+        failed = len({o.name for o in self.outcomes if not o.ok} - set(self.arrays))
+        if self.expected_members is not None:
+            return max(self.expected_members - self.n_recovered, failed)
+        return failed
+
+    @property
+    def ok(self) -> bool:
+        return bool(self.arrays)
+
+    @property
+    def rows_recovered(self) -> int:
+        return sum(int(a.shape[0]) for a in self.arrays.values() if a.ndim >= 1)
+
+    def to_dict(self) -> dict:
+        return {
+            "path": self.path,
+            "size": self.size,
+            "expected_members": self.expected_members,
+            "recovered": self.recovered,
+            "rows_recovered": self.rows_recovered,
+            "lost": self.n_lost,
+            "members": [
+                {"name": o.name, "offset": o.offset, "status": o.status, "detail": o.detail}
+                for o in self.outcomes
+            ],
+        }
+
+
+def _zip64_sizes(extra: bytes, csize: int, usize: int) -> tuple[int, int]:
+    """Resolve sizes through the zip64 extra field (header id 0x0001)."""
+
+    i = 0
+    while i + 4 <= len(extra):
+        ext_id, ext_len = struct.unpack_from("<HH", extra, i)
+        body = extra[i + 4 : i + 4 + ext_len]
+        if ext_id == 0x0001:
+            # fields appear only for header values pinned at 0xFFFFFFFF,
+            # in order: usize, csize (8 bytes each)
+            j = 0
+            if usize == 0xFFFFFFFF and j + 8 <= len(body):
+                usize = struct.unpack_from("<Q", body, j)[0]
+                j += 8
+            if csize == 0xFFFFFFFF and j + 8 <= len(body):
+                csize = struct.unpack_from("<Q", body, j)[0]
+            break
+        i += 4 + ext_len
+    return csize, usize
+
+
+def _inflate_raw(stream: bytes) -> bytes | None:
+    """Inflate a raw deflate stream, requiring a proper terminator.
+
+    Returning ``None`` distinguishes "the stream runs into the cut" from an
+    empty member — the deflate end-of-stream marker is the one trustworthy
+    length signal left in a carved archive.
+    """
+
+    obj = zlib.decompressobj(-zlib.MAX_WBITS)
+    try:
+        out = obj.decompress(stream) + obj.flush()
+    except zlib.error:
+        return None
+    return out if obj.eof else None
+
+
+def _read_npy(payload: bytes) -> np.ndarray | None:
+    try:
+        arr = np.lib.format.read_array(io.BytesIO(payload), allow_pickle=False)
+    except Exception:  # noqa: BLE001 - any parse failure means "not salvageable"
+        return None
+    return np.asarray(arr)
+
+
+def _candidate_headers(data: bytes) -> list[tuple[int, str, int, int, int, int]]:
+    """(offset, member_name, method, crc, csize, data_start) for every
+    plausible local file header.  Signatures inside compressed streams are
+    filtered out by the sanity checks on name and fixed fields."""
+
+    found = []
+    i = 0
+    while True:
+        i = data.find(ZIP_MAGIC, i)
+        if i < 0:
+            break
+        at = i
+        i += 4
+        if at + 30 > len(data):
+            continue
+        _ver, flags, method, _mt, _md, crc, csize, usize, nlen, elen = _LFH_FIXED.unpack_from(data, at + 4)
+        if flags & _FLAG_ENCRYPTED or method not in (0, 8):
+            continue
+        if not (0 < nlen <= _MAX_NAME_LEN) or elen > _MAX_EXTRA_LEN:
+            continue
+        name_bytes = data[at + 30 : at + 30 + nlen]
+        if len(name_bytes) != nlen or not all(32 <= b < 127 for b in name_bytes):
+            continue
+        name = name_bytes.decode("ascii")
+        if not name.endswith(".npy"):
+            continue
+        extra = data[at + 30 + nlen : at + 30 + nlen + elen]
+        csize, usize = _zip64_sizes(extra, csize, usize)
+        found.append((at, name, method, crc, csize, at + 30 + nlen + elen))
+    return found
+
+
+def salvage_npz(path: str | Path, *, data: bytes | None = None) -> SalvageReport:
+    """Carve whatever member arrays survive in a (possibly damaged) ``.npz``.
+
+    Never raises on damage — a hopeless file simply yields a report with no
+    recovered arrays.  Works equally on intact archives, where it recovers
+    every member.
+    """
+
+    p = Path(path)
+    if data is None:
+        data = read_bytes(p)  # ArtifactMissing propagates: nothing to carve
+    eocd = find_eocd(data)
+    expected = eocd.n_total if eocd is not None and 0 < eocd.n_total <= 4096 else None
+    report = SalvageReport(path=str(p), size=len(data), expected_members=expected)
+
+    for offset, name, method, crc, csize, start in _candidate_headers(data):
+        if name.removesuffix(".npy") in report.arrays:
+            continue  # first intact copy wins
+        if method == 0:
+            if csize <= 0 or start + csize > len(data):
+                report.outcomes.append(MemberOutcome(name, offset, TRUNCATED, "stored data past EOF"))
+                continue
+            payload = data[start : start + csize]
+        else:
+            # Cap the inflate input at csize when the header looks sane, but
+            # fall back to "rest of file" for streamed (flags bit 3) members
+            # whose header sizes are zero — the terminator bounds the read.
+            end = start + csize if 0 < csize <= len(data) - start else len(data)
+            payload = _inflate_raw(data[start:end])
+            if payload is None and end != len(data):
+                payload = _inflate_raw(data[start:])
+            if payload is None:
+                report.outcomes.append(MemberOutcome(name, offset, TRUNCATED, "deflate stream does not terminate"))
+                continue
+        if crc and zlib.crc32(payload) != crc:
+            report.outcomes.append(MemberOutcome(name, offset, CRC_MISMATCH, f"crc {zlib.crc32(payload):08x} != {crc:08x}"))
+            continue
+        arr = _read_npy(payload)
+        if arr is None:
+            report.outcomes.append(MemberOutcome(name, offset, UNDECODABLE, "payload is not a valid .npy"))
+            continue
+        report.arrays[name.removesuffix(".npy")] = arr
+        report.outcomes.append(MemberOutcome(name, offset, RECOVERED, f"{arr.dtype} {arr.shape}"))
+    return report

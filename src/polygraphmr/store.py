@@ -27,6 +27,7 @@ from .integrity import check_probs, check_weights, load_npz_validated, probe_art
 from .manifest import (
     CORRUPT,
     MISSING,
+    SALVAGED,
     VALID,
     ArtifactRecord,
     ArtifactStatus,
@@ -35,6 +36,7 @@ from .manifest import (
     expected_filenames,
 )
 from .naming import resolve_greedy_file, standard_roster
+from .salvage import SalvageReport, salvage_npz
 
 __all__ = ["ArtifactStore"]
 
@@ -48,12 +50,28 @@ class ArtifactStore:
     Quarantine is cumulative per store instance: any artifact that fails
     container or semantic validation is recorded in :attr:`quarantine`
     (path → reason) and treated as absent from then on.
+
+    With ``allow_salvaged=True``, an artifact whose *container* is corrupt
+    gets one best-effort carving pass (:func:`polygraphmr.salvage.salvage_npz`)
+    before quarantine: if the needed arrays survive the cut and pass the same
+    semantic checks as a clean load, they are served and the path is recorded
+    in :attr:`salvaged` (path → :class:`SalvageReport`) instead.  Semantic
+    failures (wrong shape, off-simplex rows) are never salvaged — carving can
+    rescue bytes, not meaning.
     """
 
-    def __init__(self, root: str | Path, *, retry_policy: RetryPolicy | None = None):
+    def __init__(
+        self,
+        root: str | Path,
+        *,
+        retry_policy: RetryPolicy | None = None,
+        allow_salvaged: bool = False,
+    ):
         self.root = Path(root)
         self.retry_policy = retry_policy
+        self.allow_salvaged = allow_salvaged
         self.quarantine: dict[str, str] = {}
+        self.salvaged: dict[str, SalvageReport] = {}
 
     # -- paths -----------------------------------------------------------
 
@@ -79,6 +97,22 @@ class ArtifactStore:
     def is_quarantined(self, path: str | Path) -> bool:
         return str(path) in self.quarantine
 
+    def is_salvaged(self, path: str | Path) -> bool:
+        return str(path) in self.salvaged
+
+    # -- salvage ---------------------------------------------------------
+
+    def _try_salvage(self, path: Path) -> SalvageReport | None:
+        """One carving pass over a container-corrupt artifact, or ``None``."""
+
+        if not self.allow_salvaged:
+            return None
+        try:
+            report = salvage_npz(path)
+        except ArtifactMissing:
+            return None
+        return report if report.ok else None
+
     # -- loading ---------------------------------------------------------
 
     def load_probs(self, model: str, stem: str, split: str, *, n_classes: int | None = None) -> np.ndarray:
@@ -90,7 +124,19 @@ class ArtifactStore:
         try:
             arrays = load_npz_validated(path, expect_keys=("probs",), policy=self.retry_policy)
             return check_probs(arrays["probs"], path=path, n_classes=n_classes)
-        except (ArtifactCorrupt, IntegrityMismatch) as exc:
+        except ArtifactCorrupt as exc:
+            report = self._try_salvage(path)
+            if report is not None and "probs" in report.arrays:
+                try:
+                    out = check_probs(report.arrays["probs"], path=path, n_classes=n_classes)
+                except IntegrityMismatch:
+                    pass
+                else:
+                    self.salvaged[str(path)] = report
+                    return out
+            self._quarantine(path, exc.reason)
+            raise
+        except IntegrityMismatch as exc:
             self._quarantine(path, exc.reason)
             raise
 
@@ -103,7 +149,19 @@ class ArtifactStore:
         try:
             arrays = load_npz_validated(path, policy=self.retry_policy)
             return check_weights(arrays, path=path)
-        except (ArtifactCorrupt, IntegrityMismatch) as exc:
+        except ArtifactCorrupt as exc:
+            report = self._try_salvage(path)
+            if report is not None:
+                try:
+                    out = check_weights(dict(report.arrays), path=path)
+                except IntegrityMismatch:
+                    pass
+                else:
+                    self.salvaged[str(path)] = report
+                    return out
+            self._quarantine(path, exc.reason)
+            raise
+        except IntegrityMismatch as exc:
             self._quarantine(path, exc.reason)
             raise
 
@@ -137,13 +195,41 @@ class ArtifactStore:
 
     # -- manifests -------------------------------------------------------
 
+    def _salvage_status(self, path: Path, kind: str) -> ArtifactStatus | None:
+        """SALVAGED status when carving rescues what ``kind`` needs, else ``None``."""
+
+        report = self._try_salvage(path)
+        if report is None:
+            return None
+        try:
+            if kind == "probs":
+                if "probs" not in report.arrays:
+                    return None
+                check_probs(report.arrays["probs"], path=path)
+            else:
+                check_weights(dict(report.arrays), path=path)
+        except IntegrityMismatch:
+            return None
+        self.salvaged[str(path)] = report
+        return ArtifactStatus(
+            SALVAGED,
+            "salvaged",
+            f"{report.n_recovered} member(s), {report.rows_recovered} rows recovered, {report.n_lost} lost",
+        )
+
     def _status_of(self, path: Path, kind: str) -> ArtifactStatus:
+        if self.is_salvaged(path):
+            report = self.salvaged[str(path)]
+            return ArtifactStatus(SALVAGED, "salvaged", f"{report.n_recovered} member(s) recovered")
         if self.is_quarantined(path):
             return ArtifactStatus(CORRUPT, self.quarantine[str(path)])
         if not path.is_file():
             return ArtifactStatus(MISSING, "not-found")
         report = probe_artifact(path)
         if not report.ok:
+            status = self._salvage_status(path, kind)
+            if status is not None:
+                return status
             self._quarantine(path, report.reason)
             return ArtifactStatus(CORRUPT, report.reason, report.detail)
         # container is sound; run the cheap semantic check for probs

@@ -7,7 +7,8 @@ import pytest
 
 from polygraphmr.ensemble import DegradedResult, EnsembleResult, EnsembleRuntime, ModelSkipped
 from polygraphmr.errors import DegradedEnsemble
-from polygraphmr.faults import corrupt_file_truncate
+from polygraphmr.faults import build_synthetic_model, corrupt_file_truncate
+from polygraphmr.store import ArtifactStore
 
 from .conftest import SYNTH_MEMBERS
 
@@ -108,9 +109,32 @@ class TestSeedCacheSweep:
         import shutil
 
         shutil.copytree(seed_store.model_dir("resnet20"), synthetic_cache / "resnet20")
-        from polygraphmr.store import ArtifactStore
-
         runtime = EnsembleRuntime(ArtifactStore(synthetic_cache))
         outcomes = runtime.run_cache()
         assert isinstance(outcomes["tinynet"], EnsembleResult)
         assert isinstance(outcomes["resnet20"], ModelSkipped)
+
+
+class TestRunCacheDeterminism:
+    def test_two_sweeps_are_byte_identical(self, synthetic_cache):
+        """Campaign results are only trustworthy if the sweep itself is
+        deterministic: two fresh store+runtime pairs over the same cache must
+        visit models in the same order and produce byte-identical outputs."""
+
+        build_synthetic_model(synthetic_cache, "aaanet", members=SYNTH_MEMBERS, n_val=96, n_test=96, seed=3)
+
+        def sweep():
+            runtime = EnsembleRuntime(ArtifactStore(synthetic_cache), seed=0)
+            return runtime.run_cache()
+
+        first, second = sweep(), sweep()
+        assert list(first) == list(second) == ["aaanet", "tinynet"]  # sorted, stable
+        for model in first:
+            a, b = first[model], second[model]
+            assert isinstance(a, EnsembleResult), model
+            assert a.members == b.members
+            assert a.predictions.dtype == b.predictions.dtype
+            assert a.predictions.tobytes() == b.predictions.tobytes()
+            assert a.flags.tobytes() == b.flags.tobytes()
+            if a.metrics is not None:
+                assert a.metrics == b.metrics

@@ -174,3 +174,35 @@ class TestRetry:
     def test_backoff_is_capped(self):
         policy = RetryPolicy(attempts=10, base_delay=0.5, max_delay=1.0, sleep=lambda _: None)
         assert policy.delay_for(6) == 1.0
+
+    def test_jittered_schedule_is_deterministic_per_seed(self):
+        policy = RetryPolicy(attempts=6, base_delay=0.01, jitter=0.5, seed=42, sleep=lambda _: None)
+        assert policy.schedule() == policy.schedule()  # same policy, same schedule
+        reseeded = RetryPolicy(attempts=6, base_delay=0.01, jitter=0.5, seed=43, sleep=lambda _: None)
+        assert policy.schedule() != reseeded.schedule()
+
+    def test_jitter_only_ever_adds_a_bounded_fraction(self):
+        policy = RetryPolicy(attempts=5, base_delay=0.1, max_delay=10.0, jitter=0.25, seed=1, sleep=lambda _: None)
+        plain = RetryPolicy(attempts=5, base_delay=0.1, max_delay=10.0, sleep=lambda _: None)
+        for with_jitter, base in zip(policy.schedule(), plain.schedule()):
+            assert base <= with_jitter <= base * 1.25
+
+    def test_total_sleep_per_call_is_capped(self):
+        policy = RetryPolicy(
+            attempts=20, base_delay=0.5, max_delay=4.0, max_total_sleep=2.5, sleep=lambda _: None
+        )
+        schedule = policy.schedule()
+        assert len(schedule) == 19  # one sleep between each pair of attempts
+        assert sum(schedule) <= 2.5 + 1e-9
+        assert schedule[-1] == 0.0  # budget exhausted: later retries are immediate
+
+    def test_backoff_sleeps_follow_the_schedule(self):
+        waits: list[float] = []
+        policy = RetryPolicy(attempts=4, base_delay=0.01, jitter=1.0, seed=7, sleep=waits.append)
+
+        def always_fails():
+            raise OSError("blip")
+
+        with pytest.raises(TransientIOError):
+            retry_with_backoff(always_fails, path="x", policy=policy)
+        assert waits == policy.schedule()
