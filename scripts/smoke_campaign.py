@@ -1,12 +1,23 @@
 #!/usr/bin/env python3
-"""End-to-end crash/resume smoke test for the campaign runner.
+"""End-to-end smoke test for the campaign runner: parallel speedup,
+serial≡parallel byte-identity, and SIGTERM-drain/resume of a 4-worker run.
 
-Builds a synthetic cache, starts a 5-trial campaign as a subprocess, SIGTERMs
-it once the journal shows 2 completed trials, resumes it, and asserts the
-journal ends up with exactly 5 checksum-valid trial records.  Exits 0 on
-success; any deviation is a hard failure.  Run by CI on every push::
+Three phases, all against the same 4-model synthetic cache::
 
     PYTHONPATH=src python scripts/smoke_campaign.py
+
+1. **Equivalence + speedup** — a 16-trial campaign with ``--workers 4`` must
+   produce a ``journal.jsonl`` byte-identical to the serial run's and (with
+   each trial padded by ``--trial-sleep``, so the comparison measures the
+   executor, not the model) complete at least 2x faster wall-clock.
+2. **Kill/drain** — SIGTERM the 4-worker run mid-campaign; every worker
+   finishes its in-flight trial and journals it (exit 3, no lost records).
+3. **Resume** — ``--resume`` completes the interrupted run; the merged
+   journal is byte-identical to the serial reference, every index exactly
+   once.
+
+Exits 0 on success; any deviation is a hard failure.  Run by CI on every
+push.
 """
 
 from __future__ import annotations
@@ -22,100 +33,140 @@ from pathlib import Path
 REPO_ROOT = Path(__file__).resolve().parent.parent
 sys.path.insert(0, str(REPO_ROOT / "src"))
 
-from polygraphmr.campaign import CampaignJournal  # noqa: E402
+from polygraphmr.campaign import CampaignJournal, scan_campaign  # noqa: E402
 
-N_TRIALS = 5
-KILL_AFTER = 2
+N_TRIALS = 16
+N_MODELS = 4
+TRIAL_SLEEP_S = 0.2
+MIN_SPEEDUP = 2.0
+SPEEDUP_RETRIES = 3  # shared CI runners can blip; retry the timing, not the bytes
 POLL_S = 0.05
-DEADLINE_S = 120.0
+DEADLINE_S = 300.0
+ENV = {"PYTHONPATH": str(REPO_ROOT / "src")}
 
 
-def campaign_cmd(out_dir: Path, cache_dir: Path, *, resume: bool) -> list[str]:
+def campaign_cmd(cache: Path, out: Path, *, workers: int, resume: bool = False) -> list[str]:
     cmd = [
         sys.executable,
         "-m",
         "polygraphmr.campaign",
         "--synthetic",
-        str(cache_dir),
+        str(cache),
+        "--synthetic-models",
+        str(N_MODELS),
         "--out",
-        str(out_dir),
+        str(out),
         "--trials",
         str(N_TRIALS),
         "--seed",
         "7",
         "--timeout",
         "60",
+        "--trial-sleep",
+        str(TRIAL_SLEEP_S),
+        "--workers",
+        str(workers),
     ]
     if resume:
         cmd.append("--resume")
     return cmd
 
 
-def n_trials_journalled(journal: CampaignJournal) -> int:
+def timed_run(cache: Path, out: Path, *, workers: int) -> tuple[float, dict]:
+    start = time.monotonic()
+    proc = subprocess.run(
+        campaign_cmd(cache, out, workers=workers), env=ENV, capture_output=True, text=True
+    )
+    elapsed = time.monotonic() - start
+    if proc.returncode != 0:
+        raise SystemExit(f"FAIL: workers={workers} run exited {proc.returncode}: {proc.stderr}")
+    return elapsed, json.loads(proc.stdout)
+
+
+def n_trials_journalled(out: Path) -> int:
     try:
-        return len(journal.trial_records())
-    except Exception:  # torn mid-write while we poll — count what parses
+        return len(scan_campaign(out).trials)
+    except Exception:  # torn mid-write while we poll — count what verifies
         return 0
 
 
-def attempt(kill_after: int) -> int | None:
-    """One kill/resume cycle; 0 = pass, 1 = fail, None = kill landed too
-    late to interrupt (caller should retry with an earlier kill point)."""
+def phase_equivalence_and_speedup(tmp: Path) -> None:
+    cache = tmp / "cache"
+    serial_out, parallel_out = tmp / "serial", tmp / "parallel"
 
-    tmp = Path(tempfile.mkdtemp(prefix="polygraphmr-smoke-"))
-    out_dir, cache_dir = tmp / "campaign", tmp / "cache"
-    journal = CampaignJournal(out_dir / "journal.jsonl")
+    serial_s, serial_summary = timed_run(cache, serial_out, workers=1)
+    parallel_s, parallel_summary = timed_run(cache, parallel_out, workers=4)
 
-    env = {"PYTHONPATH": str(REPO_ROOT / "src")}
-    proc = subprocess.Popen(campaign_cmd(out_dir, cache_dir, resume=False), env=env)
+    serial_bytes = (serial_out / "journal.jsonl").read_bytes()
+    parallel_bytes = (parallel_out / "journal.jsonl").read_bytes()
+    if serial_bytes != parallel_bytes:
+        raise SystemExit("FAIL: parallel merged journal differs from the serial journal")
+    if (serial_out / "checkpoint.json").read_bytes() != (parallel_out / "checkpoint.json").read_bytes():
+        raise SystemExit("FAIL: final checkpoints differ between serial and parallel")
+    if serial_summary["outcomes"] != parallel_summary["outcomes"]:
+        raise SystemExit(
+            f"FAIL: outcome counts differ: {serial_summary['outcomes']} != {parallel_summary['outcomes']}"
+        )
+    print(f"OK: 4-worker journal byte-identical to serial ({len(serial_bytes)} bytes)")
+
+    speedup = serial_s / parallel_s if parallel_s > 0 else float("inf")
+    print(f"serial {serial_s:.2f}s / parallel {parallel_s:.2f}s -> speedup {speedup:.2f}x")
+    attempt = 1
+    while speedup < MIN_SPEEDUP and attempt < SPEEDUP_RETRIES:
+        attempt += 1
+        print(f"speedup below {MIN_SPEEDUP}x; re-timing (attempt {attempt}/{SPEEDUP_RETRIES})")
+        retry = tmp / f"retry-{attempt}"
+        serial_s, _ = timed_run(cache, retry / "serial", workers=1)
+        parallel_s, _ = timed_run(cache, retry / "parallel", workers=4)
+        speedup = serial_s / parallel_s if parallel_s > 0 else float("inf")
+        print(f"serial {serial_s:.2f}s / parallel {parallel_s:.2f}s -> speedup {speedup:.2f}x")
+    if speedup < MIN_SPEEDUP:
+        raise SystemExit(f"FAIL: parallel speedup {speedup:.2f}x < {MIN_SPEEDUP}x")
+    print(f"OK: >= {MIN_SPEEDUP}x wall-clock speedup with 4 workers")
+
+
+def phase_kill_and_resume(tmp: Path) -> None:
+    cache = tmp / "cache"
+    out = tmp / "killed"
+    reference = (tmp / "serial" / "journal.jsonl").read_bytes()
+
+    proc = subprocess.Popen(campaign_cmd(cache, out, workers=4), env=ENV)
     deadline = time.monotonic() + DEADLINE_S
-    while n_trials_journalled(journal) < kill_after:
+    while n_trials_journalled(out) < 3:
         if proc.poll() is not None:
-            print(f"FAIL: campaign exited ({proc.returncode}) before trial {kill_after}", file=sys.stderr)
-            return 1
+            raise SystemExit(f"FAIL: campaign exited ({proc.returncode}) before it could be killed")
         if time.monotonic() > deadline:
             proc.kill()
-            print("FAIL: timed out waiting for the first trials", file=sys.stderr)
-            return 1
+            raise SystemExit("FAIL: timed out waiting for the first parallel trials")
         time.sleep(POLL_S)
     proc.send_signal(signal.SIGTERM)
-    proc.wait(timeout=60)
-    interrupted = n_trials_journalled(journal)
+    proc.wait(timeout=120)
+    interrupted = n_trials_journalled(out)
+    if proc.returncode != 3:
+        raise SystemExit(f"FAIL: SIGTERMed parallel run exited {proc.returncode}, expected 3")
     if interrupted >= N_TRIALS:
-        print(f"kill after {kill_after} landed too late ({interrupted} trials done); retrying")
-        return None
-    if interrupted < kill_after:
-        print(f"FAIL: journal lost trials after SIGTERM: {interrupted} < {kill_after}", file=sys.stderr)
-        return 1
-    print(f"killed after {interrupted} trial(s) (exit {proc.returncode}); resuming")
+        print("note: SIGTERM landed after completion was unavoidable; journal already full")
+    print(f"killed 4-worker run after {interrupted} journalled trial(s) (exit 3); resuming")
 
-    resumed = subprocess.run(campaign_cmd(out_dir, cache_dir, resume=True), env=env, capture_output=True, text=True)
-    if resumed.returncode != 0:
-        print(f"FAIL: resume exited {resumed.returncode}: {resumed.stderr}", file=sys.stderr)
-        return 1
-    summary = json.loads(resumed.stdout)
-
-    trials = journal.trial_records()
-    ok = (
-        len(trials) == N_TRIALS
-        and sorted(trials) == list(range(N_TRIALS))
-        and summary["completed"] == N_TRIALS
-        and all(r["outcome"] == "ok" for r in trials.values())
+    resumed = subprocess.run(
+        campaign_cmd(cache, out, workers=4, resume=True), env=ENV, capture_output=True, text=True
     )
-    if not ok:
-        print(f"FAIL: journal holds {sorted(trials)} / summary {summary}", file=sys.stderr)
-        return 1
-    print(f"OK: {len(trials)} checksum-valid trial records after kill + resume")
-    return 0
+    if resumed.returncode != 0:
+        raise SystemExit(f"FAIL: resume exited {resumed.returncode}: {resumed.stderr}")
+    summary = json.loads(resumed.stdout)
+    trials = CampaignJournal(out / "journal.jsonl").trial_records()
+    if summary["completed"] != N_TRIALS or sorted(trials) != list(range(N_TRIALS)):
+        raise SystemExit(f"FAIL: resume left {sorted(trials)} / summary {summary}")
+    if (out / "journal.jsonl").read_bytes() != reference:
+        raise SystemExit("FAIL: resumed parallel journal differs from the serial reference")
+    print(f"OK: resume completed all {N_TRIALS} trials; merged journal byte-identical to serial")
 
 
 def main() -> int:
-    for kill_after in (KILL_AFTER, 1, 1):
-        status = attempt(kill_after)
-        if status is not None:
-            return status
-    print("FAIL: could not interrupt the campaign in three attempts", file=sys.stderr)
-    return 1
+    tmp = Path(tempfile.mkdtemp(prefix="polygraphmr-smoke-"))
+    phase_equivalence_and_speedup(tmp)
+    phase_kill_and_resume(tmp)
+    return 0
 
 
 if __name__ == "__main__":

@@ -37,7 +37,14 @@ from .store import ArtifactStore
 __version__ = "0.1.0"
 
 _FAULT_EXPORTS = ("FaultSpec", "inject_bitflips", "inject_gaussian", "measure_degradation")
-_CAMPAIGN_EXPORTS = ("CampaignConfig", "CampaignJournal", "CampaignRunner", "TrialSpec")
+_CAMPAIGN_EXPORTS = (
+    "CampaignConfig",
+    "CampaignJournal",
+    "CampaignRunner",
+    "TrialExecutor",
+    "TrialSpec",
+)
+_PARALLEL_EXPORTS = ("ParallelCampaignRunner",)
 
 
 def __getattr__(name: str):
@@ -52,6 +59,10 @@ def __getattr__(name: str):
         from . import campaign
 
         return getattr(campaign, name)
+    if name in _PARALLEL_EXPORTS:
+        from . import parallel
+
+        return getattr(parallel, name)
     raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 __all__ = [
@@ -77,10 +88,12 @@ __all__ = [
     "LogisticDecisionModule",
     "ModelManifest",
     "ModelSkipped",
+    "ParallelCampaignRunner",
     "PolygraphError",
     "RetryPolicy",
     "SalvageReport",
     "TransientIOError",
+    "TrialExecutor",
     "TrialSpec",
     "display_to_stem",
     "inject_bitflips",

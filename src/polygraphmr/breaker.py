@@ -22,7 +22,16 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-__all__ = ["CLOSED", "OPEN", "HALF_OPEN", "BreakerPolicy", "CircuitBreaker", "BreakerBoard"]
+__all__ = [
+    "CLOSED",
+    "OPEN",
+    "HALF_OPEN",
+    "BreakerPolicy",
+    "CircuitBreaker",
+    "BreakerBoard",
+    "merge_snapshots",
+    "non_closed_in_snapshot",
+]
 
 CLOSED = "closed"
 OPEN = "open"
@@ -160,3 +169,43 @@ class BreakerBoard:
             b = CircuitBreaker(self.policy)
             b.restore(s)
             self._breakers[k] = b
+
+
+# -- snapshot algebra ------------------------------------------------------
+#
+# The campaign keeps one board *per model* (see
+# polygraphmr.campaign.TrialExecutor), so the snapshots to combine are always
+# disjoint in their breaker keys ("<model>/<stem>").  That makes the merge
+# rule trivially deterministic: union the breaker entries (sorted by key) and
+# sum the tick counts.  Summing ticks preserves the serial run's meaning —
+# each board ticks once per trial of its model, so the sum is the total trial
+# count, exactly what a single shared board would have counted.
+
+
+def merge_snapshots(snaps) -> dict:
+    """Fold per-model board snapshots into one board-shaped snapshot.
+
+    ``snaps`` must have disjoint breaker keys (guaranteed when each snapshot
+    belongs to a different model); a collision raises
+    :class:`ValueError` rather than silently picking a winner.
+    """
+
+    tick_count = 0
+    breakers: dict[str, dict] = {}
+    for snap in snaps:
+        tick_count += int(snap.get("tick_count", 0))
+        for key, state in snap.get("breakers", {}).items():
+            if key in breakers:
+                raise ValueError(f"breaker key {key!r} present in multiple snapshots")
+            breakers[key] = state
+    return {"tick_count": tick_count, "breakers": {k: breakers[k] for k in sorted(breakers)}}
+
+
+def non_closed_in_snapshot(snap: dict) -> dict[str, str]:
+    """``BreakerBoard.non_closed()`` computed directly on a snapshot."""
+
+    return {
+        k: s["state"]
+        for k, s in sorted(snap.get("breakers", {}).items())
+        if s.get("state") != CLOSED
+    }

@@ -14,9 +14,15 @@ built around three guarantees:
   replaced atomically after every trial; it cross-checks the journal on
   resume and catches a journal that lost committed records.
 * **Deterministic trials** — each trial's spec is derived from
-  ``(campaign seed, trial index)`` alone, and the circuit-breaker board is
-  snapshotted into every record, so ``--resume`` replays the interrupted
-  campaign *exactly*: same specs, same breaker transitions, same results.
+  ``(campaign seed, trial index)`` alone, and every trial record is a pure
+  function of the trial sub-sequence of its *model* (circuit-breaker boards
+  are per model, see :class:`TrialExecutor`), so ``--resume`` replays an
+  interrupted campaign *exactly* — and a parallel run
+  (:mod:`polygraphmr.parallel`, ``--workers N``) produces a merged journal
+  byte-identical to a serial one.
+
+Journal records deliberately carry **no wall-clock data**: timing lives in
+the run summary only, so the journal bytes depend on nothing but the config.
 
 A per-trial watchdog bounds each trial's wall-clock; a trial that exceeds it
 is journalled as ``trial_timeout`` and the sweep moves on.
@@ -30,6 +36,7 @@ import argparse
 import hashlib
 import json
 import os
+import re
 import signal
 import sys
 import threading
@@ -39,7 +46,7 @@ from pathlib import Path
 
 import numpy as np
 
-from .breaker import BreakerBoard, BreakerPolicy
+from .breaker import BreakerBoard, BreakerPolicy, merge_snapshots, non_closed_in_snapshot
 from .ensemble import EnsembleRuntime
 from .errors import CampaignError
 from .faults import FaultSpec, build_synthetic_model, measure_degradation
@@ -51,7 +58,14 @@ __all__ = [
     "OUTCOME_TIMEOUT",
     "CampaignConfig",
     "TrialSpec",
+    "TrialExecutor",
     "CampaignJournal",
+    "CampaignState",
+    "scan_campaign",
+    "shard_name",
+    "shard_journals",
+    "merge_journal",
+    "validate_resume",
     "read_checkpoint",
     "write_checkpoint",
     "CampaignRunner",
@@ -60,7 +74,9 @@ __all__ = [
 
 JOURNAL_NAME = "journal.jsonl"
 CHECKPOINT_NAME = "checkpoint.json"
-JOURNAL_VERSION = 1
+JOURNAL_VERSION = 2
+
+_SHARD_RE = re.compile(r"^journal\.w(\d{2,})\.jsonl$")
 
 OUTCOME_OK = "ok"
 OUTCOME_ERROR = "error"
@@ -76,7 +92,12 @@ def _sha256(text: str) -> str:
 
 
 def _seal(record: dict) -> str:
-    """Serialise ``record`` with an embedded checksum over everything else."""
+    """Serialise ``record`` with an embedded checksum over everything else.
+
+    Sealing is byte-stable: re-sealing a record read back from a journal
+    reproduces the original line exactly (sorted keys, repr-round-tripped
+    floats) — the property the shard merger relies on.
+    """
 
     payload = dict(record)
     payload["sha256"] = _sha256(_canonical(record))
@@ -86,7 +107,13 @@ def _seal(record: dict) -> str:
 @dataclass(frozen=True)
 class CampaignConfig:
     """Everything that defines a campaign; journalled in the header record so
-    a resume can refuse to continue under different settings."""
+    a resume can refuse to continue under different settings.
+
+    Deliberately *not* part of the config: the worker count.  Parallelism is
+    an execution detail — the journal a campaign produces is identical for
+    any ``--workers`` value, so resuming with a different worker count is
+    legal and exact.
+    """
 
     cache: str
     n_trials: int = 10
@@ -100,6 +127,7 @@ class CampaignConfig:
     failure_threshold: int = 3
     cooldown_ticks: int = 2
     min_members: int = 2
+    trial_sleep_s: float = 0.0  # artificial per-trial latency (testing aid)
 
     def to_dict(self) -> dict:
         return {
@@ -115,7 +143,11 @@ class CampaignConfig:
             "failure_threshold": self.failure_threshold,
             "cooldown_ticks": self.cooldown_ticks,
             "min_members": self.min_members,
+            "trial_sleep_s": self.trial_sleep_s,
         }
+
+    def breaker_policy(self) -> BreakerPolicy:
+        return BreakerPolicy(self.failure_threshold, self.cooldown_ticks)
 
 
 @dataclass(frozen=True)
@@ -160,8 +192,22 @@ def derive_trial_spec(config: CampaignConfig, models: list[str], index: int) -> 
     )
 
 
+def discover_models(config: CampaignConfig) -> list[str]:
+    """The campaign's model roster: the configured subset, or every model
+    directory in the cache (sorted, so the ``index -> model`` map is stable)."""
+
+    if config.models:
+        return list(config.models)
+    return ArtifactStore(config.cache).models()
+
+
 class CampaignJournal:
-    """Append-only JSONL write-ahead journal with per-record checksums."""
+    """Append-only JSONL write-ahead journal with per-record checksums.
+
+    The same class backs the canonical ``journal.jsonl`` and the per-worker
+    shards (``journal.wNN.jsonl``) of a parallel run — one sealed-record
+    format everywhere.
+    """
 
     def __init__(self, path: str | Path):
         self.path = Path(path)
@@ -191,8 +237,13 @@ class CampaignJournal:
         lines = raw.split(b"\n")
         offset = 0
         for i, line in enumerate(lines):
-            if line == b"" and i == len(lines) - 1:
-                break  # trailing newline of the last complete record
+            if i == len(lines) - 1:
+                # ``line`` is whatever follows the last "\n" (b"" when the
+                # file ends cleanly).  The trailing newline is what commits
+                # an append, so even a checksum-valid tail here is a torn
+                # write: drop it — counting it would leave the file without
+                # a terminator and make the *next* append glue onto it.
+                break
             bad = None
             payload: dict = {}
             try:
@@ -227,6 +278,90 @@ class CampaignJournal:
 
     def trial_records(self) -> dict[int, dict]:
         return {r["index"]: r for r in self.read() if r.get("type") == "trial"}
+
+
+# -- shards ----------------------------------------------------------------
+
+
+def shard_name(worker: int) -> str:
+    """Journal shard filename for one worker, e.g. ``journal.w03.jsonl``."""
+
+    return f"journal.w{worker:02d}.jsonl"
+
+
+def shard_journals(out_dir: str | Path) -> dict[int, CampaignJournal]:
+    """Every journal shard in ``out_dir``, keyed by worker id."""
+
+    out: dict[int, CampaignJournal] = {}
+    d = Path(out_dir)
+    if d.is_dir():
+        for p in sorted(d.iterdir()):
+            m = _SHARD_RE.match(p.name)
+            if m:
+                out[int(m.group(1))] = CampaignJournal(p)
+    return out
+
+
+@dataclass
+class CampaignState:
+    """Everything on disk about a campaign: the canonical journal plus any
+    worker shards, deduplicated by trial index (canonical wins)."""
+
+    header: dict | None
+    trials: dict[int, dict]
+    canonical_records: int  # verified record count in journal.jsonl
+    shard_counts: dict[int, int] = field(default_factory=dict)  # worker -> trial records
+
+    def complete(self, n_trials: int) -> bool:
+        return all(i in self.trials for i in range(n_trials))
+
+
+def scan_campaign(out_dir: str | Path, *, repair: bool = False) -> CampaignState:
+    """Read the canonical journal *and* every shard; with ``repair=True``,
+    torn tails are truncated in place (the resume path)."""
+
+    canonical = CampaignJournal(Path(out_dir) / JOURNAL_NAME)
+    records = canonical.repair_tail() if repair else canonical.read()
+    header = records[0] if records and records[0].get("type") == "header" else None
+    trials = {r["index"]: r for r in records if r.get("type") == "trial"}
+    shard_counts: dict[int, int] = {}
+    for worker, shard in shard_journals(out_dir).items():
+        shard_records = shard.repair_tail() if repair else shard.read()
+        shard_trials = [r for r in shard_records if r.get("type") == "trial"]
+        shard_counts[worker] = len(shard_trials)
+        for r in shard_trials:
+            trials.setdefault(r["index"], r)
+    return CampaignState(header, trials, len(records), shard_counts)
+
+
+def merge_journal(out_dir: str | Path, header: dict, trials: dict[int, dict]) -> Path:
+    """Fold shards into the canonical journal, **in index order**.
+
+    The canonical file is atomically *replaced* (tmp + fsync + ``os.replace``)
+    with header + every trial record sorted by index; only then are the
+    shards deleted.  Until the replace lands, the shards remain the write-
+    ahead source of truth, so a crash at any point loses nothing, and
+    re-running the merge is idempotent.  Because sealing is byte-stable and
+    records carry no wall-clock data, the merged file is byte-identical to
+    the journal a serial run writes.
+    """
+
+    out = Path(out_dir)
+    path = out / JOURNAL_NAME
+    tmp = path.with_name(path.name + ".tmp")
+    with open(tmp, "w", encoding="utf-8") as fh:
+        fh.write(_seal(header) + "\n")
+        for index in sorted(trials):
+            fh.write(_seal(trials[index]) + "\n")
+        fh.flush()
+        os.fsync(fh.fileno())
+    os.replace(tmp, path)
+    for shard in shard_journals(out).values():
+        shard.path.unlink(missing_ok=True)
+    return path
+
+
+# -- checkpoints -----------------------------------------------------------
 
 
 def write_checkpoint(path: str | Path, payload: dict) -> None:
@@ -265,60 +400,143 @@ def read_checkpoint(path: str | Path) -> dict | None:
     return body
 
 
-class CampaignRunner:
-    """Drives trials through the journal/checkpoint machinery.
+def validate_resume(state: CampaignState, config: CampaignConfig, checkpoint: dict | None) -> dict:
+    """Shared resume guards for the serial and parallel runners.
+
+    Returns the verified header record.  Raises :class:`CampaignError` when
+    the header is absent or written by a different config/format version, or
+    when the checkpoint committed more durable history than the journal (or
+    any shard) still holds.
+    """
+
+    if state.header is None:
+        raise CampaignError("journal-no-header", "no verifiable header record; cannot resume")
+    if state.header.get("version") != JOURNAL_VERSION:
+        raise CampaignError(
+            "journal-version-mismatch",
+            f"journal format v{state.header.get('version')} != v{JOURNAL_VERSION}",
+        )
+    if state.header.get("config") != config.to_dict():
+        raise CampaignError(
+            "config-mismatch",
+            "journal was written by a campaign with different settings; "
+            "start a fresh --out directory instead",
+        )
+    if checkpoint is not None:
+        if checkpoint.get("journal_records", 0) > state.canonical_records:
+            raise CampaignError(
+                "journal-behind-checkpoint",
+                f"checkpoint committed {checkpoint['journal_records']} record(s) "
+                f"but the journal holds {state.canonical_records} — committed history was lost",
+            )
+        if checkpoint.get("completed", 0) > len(state.trials):
+            raise CampaignError(
+                "journal-behind-checkpoint",
+                f"checkpoint committed {checkpoint['completed']} trial(s) "
+                f"but journal + shards hold {len(state.trials)}",
+            )
+        for key, mark in checkpoint.get("workers", {}).items():
+            have = state.shard_counts.get(int(key), 0)
+            if mark.get("journalled", 0) > have:
+                raise CampaignError(
+                    "journal-behind-checkpoint",
+                    f"checkpoint committed {mark['journalled']} record(s) for worker {key} "
+                    f"but its shard holds {have}",
+                )
+    return state.header
+
+
+def checkpoint_payload(config: CampaignConfig, done: dict[int, dict], journal_records: int) -> dict:
+    """The canonical checkpoint body — identical for serial and (post-merge)
+    parallel runs, so the final checkpoints of both are byte-comparable."""
+
+    next_index = next((i for i in range(config.n_trials) if i not in done), config.n_trials)
+    return {
+        "version": JOURNAL_VERSION,
+        "n_trials": config.n_trials,
+        "completed": len(done),
+        "next_index": next_index,
+        "journal_records": journal_records,
+    }
+
+
+# -- trial execution -------------------------------------------------------
+
+
+class TrialExecutor:
+    """Executes single trials deterministically — the one code path shared by
+    the serial runner and every parallel worker.
+
+    **Per-model breaker boards.**  Each model gets its own
+    :class:`~polygraphmr.breaker.BreakerBoard`, ticked once per trial *of
+    that model*.  Trial ``i`` always belongs to ``models[i % len(models)]``,
+    so a model's trial sub-sequence — and therefore its board's entire
+    state-machine history — is a pure function of the config, independent of
+    how trials are spread over workers.  That is the invariant behind the
+    serial ≡ parallel byte-identity guarantee: the journalled ``breakers``
+    snapshot of trial ``i`` depends only on trials ``i % M, i % M + M, …``
+    of the same model, never on interleaving.
+
+    The executor opens its own :class:`ArtifactStore` lazily, so a parallel
+    worker constructs it *after* ``fork`` — quarantine registries, salvage
+    caches, and runtimes are never shared across processes.
 
     ``trial_fn(spec) -> dict`` is injectable for tests (e.g. to fake a hang
     for the watchdog); the default runs
-    :func:`polygraphmr.faults.measure_degradation` against a shared store,
-    runtime, and circuit-breaker board.
+    :func:`polygraphmr.faults.measure_degradation`.
     """
 
-    def __init__(
-        self,
-        config: CampaignConfig,
-        out_dir: str | Path,
-        *,
-        trial_fn=None,
-        audit: dict | None = None,
-    ):
+    def __init__(self, config: CampaignConfig, models: list[str], *, trial_fn=None):
         self.config = config
-        self.out_dir = Path(out_dir)
-        self.out_dir.mkdir(parents=True, exist_ok=True)
-        self.journal = CampaignJournal(self.out_dir / JOURNAL_NAME)
-        self.checkpoint_path = self.out_dir / CHECKPOINT_NAME
-        self.audit = audit
+        self.models = list(models)
         self._trial_fn = trial_fn or self._run_trial
-        self._stop = threading.Event()
-        self._build_runtime()
-        self.models = list(config.models) if config.models else self.store.models()
+        self.boards: dict[str, BreakerBoard] = {}
+        self._store: ArtifactStore | None = None
+        self._runtimes: dict[str, EnsembleRuntime] = {}
 
-    def _build_runtime(self, breaker_snapshot: dict | None = None) -> None:
-        self.store = ArtifactStore(self.config.cache, allow_salvaged=self.config.allow_salvaged)
-        self.board = BreakerBoard(
-            BreakerPolicy(self.config.failure_threshold, self.config.cooldown_ticks)
-        )
-        if breaker_snapshot is not None:
-            self.board.restore(breaker_snapshot)
-        self.runtime = EnsembleRuntime(
-            self.store,
-            min_members=self.config.min_members,
-            seed=self.config.seed,
-            breakers=self.board,
-        )
+    @property
+    def store(self) -> ArtifactStore:
+        if self._store is None:
+            self._store = ArtifactStore(self.config.cache, allow_salvaged=self.config.allow_salvaged)
+        return self._store
 
-    def request_stop(self) -> None:
-        """Finish the in-flight trial, journal it, then exit the loop —
-        the graceful-SIGTERM path."""
+    def board_for(self, model: str) -> BreakerBoard:
+        board = self.boards.get(model)
+        if board is None:
+            board = self.boards[model] = BreakerBoard(self.config.breaker_policy())
+        return board
 
-        self._stop.set()
+    def runtime_for(self, model: str) -> EnsembleRuntime:
+        runtime = self._runtimes.get(model)
+        if runtime is None:
+            runtime = self._runtimes[model] = EnsembleRuntime(
+                self.store,
+                min_members=self.config.min_members,
+                seed=self.config.seed,
+                breakers=self.board_for(model),
+            )
+        return runtime
 
-    # -- trial execution -------------------------------------------------
+    def restore_boards(self, trials: dict[int, dict]) -> None:
+        """Restore every model's board from the *latest* journalled trial of
+        that model — the per-model analogue of PR 2's mid-sweep restore."""
+
+        last: dict[str, dict] = {}
+        for index in sorted(trials):
+            record = trials[index]
+            model = record.get("spec", {}).get("model")
+            if model is not None and record.get("breakers") is not None:
+                last[model] = record["breakers"]
+        for model, snap in last.items():
+            board = BreakerBoard(self.config.breaker_policy())
+            board.restore(snap)
+            self.boards[model] = board
+            self._runtimes.pop(model, None)
 
     def _run_trial(self, spec: TrialSpec) -> dict:
         fault = FaultSpec(kind=spec.kind, rate=spec.rate, sigma=spec.sigma, seed=spec.fault_seed)
         return measure_degradation(
-            self.store, spec.model, fault, seed=self.config.seed, runtime=self.runtime
+            self.store, spec.model, fault, seed=self.config.seed, runtime=self.runtime_for(spec.model)
         )
 
     def _call_with_watchdog(self, spec: TrialSpec):
@@ -346,112 +564,158 @@ class CampaignRunner:
             return OUTCOME_ERROR, None, box["error"]
         return OUTCOME_OK, box.get("value"), None
 
-    def _execute_trial(self, index: int) -> dict:
+    def _rebuild_after_timeout(self, model: str, pre_snapshot: dict) -> None:
+        # The abandoned watchdog thread still holds the old store and this
+        # model's old board; replace both (and every runtime that referenced
+        # the old store) so it cannot mutate anything later trials depend on.
+        self._store = None
+        self._runtimes = {}
+        board = BreakerBoard(self.config.breaker_policy())
+        board.restore(pre_snapshot)
+        self.boards[model] = board
+
+    def execute(self, index: int) -> dict:
+        """Run one trial and build its (deterministic) journal record."""
+
         spec = derive_trial_spec(self.config, self.models, index)
-        pre_breakers = self.board.snapshot()
-        started = time.monotonic()
+        if self.config.trial_sleep_s > 0:
+            time.sleep(self.config.trial_sleep_s)
+        pre_breakers = self.board_for(spec.model).snapshot()
         outcome, value, error = self._call_with_watchdog(spec)
         record = {
             "type": "trial",
             "index": index,
             "spec": spec.to_dict(),
             "outcome": outcome,
-            "elapsed_s": round(time.monotonic() - started, 3),
         }
         if outcome == OUTCOME_TIMEOUT:
-            # The abandoned worker thread still holds the old store/board;
-            # rebuild both from the pre-trial snapshot so it cannot mutate
-            # anything the remaining trials depend on.
-            self._build_runtime(breaker_snapshot=pre_breakers)
+            self._rebuild_after_timeout(spec.model, pre_breakers)
             record["breakers"] = pre_breakers
         else:
-            record["breakers"] = self.board.snapshot()
+            record["breakers"] = self.boards[spec.model].snapshot()
         if outcome == OUTCOME_OK:
             record["result"] = value
         elif outcome == OUTCOME_ERROR:
             record["error"] = repr(error)
         return record
 
+
+def summarize_trials(config: CampaignConfig, done: dict[int, dict]) -> dict:
+    """Outcome counts + merged non-closed breaker states, computed purely
+    from journal records so serial and parallel summaries agree exactly."""
+
+    outcomes = {OUTCOME_OK: 0, OUTCOME_ERROR: 0, OUTCOME_TIMEOUT: 0}
+    last_snap: dict[str, dict] = {}
+    for index in sorted(done):
+        record = done[index]
+        outcomes[record["outcome"]] = outcomes.get(record["outcome"], 0) + 1
+        model = record.get("spec", {}).get("model")
+        if model is not None and record.get("breakers") is not None:
+            last_snap[model] = record["breakers"]
+    merged = merge_snapshots(last_snap[m] for m in sorted(last_snap))
+    return {
+        "n_trials": config.n_trials,
+        "completed": len(done),
+        "outcomes": outcomes,
+        "breakers": non_closed_in_snapshot(merged),
+    }
+
+
+def header_record(config: CampaignConfig, models: list[str], audit: dict | None = None) -> dict:
+    record = {
+        "type": "header",
+        "version": JOURNAL_VERSION,
+        "config": config.to_dict(),
+        "models": list(models),
+    }
+    if audit is not None:
+        record["audit"] = audit
+    return record
+
+
+class CampaignRunner:
+    """Drives trials serially through the journal/checkpoint machinery.
+
+    For the multiprocess executor see
+    :class:`polygraphmr.parallel.ParallelCampaignRunner`; both delegate trial
+    execution to the same :class:`TrialExecutor`, which is what keeps their
+    journals byte-identical.
+    """
+
+    def __init__(
+        self,
+        config: CampaignConfig,
+        out_dir: str | Path,
+        *,
+        trial_fn=None,
+        audit: dict | None = None,
+    ):
+        self.config = config
+        self.out_dir = Path(out_dir)
+        self.out_dir.mkdir(parents=True, exist_ok=True)
+        self.journal = CampaignJournal(self.out_dir / JOURNAL_NAME)
+        self.checkpoint_path = self.out_dir / CHECKPOINT_NAME
+        self.audit = audit
+        self._stop = threading.Event()
+        self.models = discover_models(config)
+        self.executor = TrialExecutor(config, self.models, trial_fn=trial_fn)
+
+    def request_stop(self) -> None:
+        """Finish the in-flight trial, journal it, then exit the loop —
+        the graceful-SIGTERM path."""
+
+        self._stop.set()
+
     # -- resume plumbing -------------------------------------------------
 
     def _header_record(self) -> dict:
-        record = {
-            "type": "header",
-            "version": JOURNAL_VERSION,
-            "config": self.config.to_dict(),
-            "models": self.models,
-        }
-        if self.audit is not None:
-            record["audit"] = self.audit
-        return record
+        return header_record(self.config, self.models, self.audit)
 
-    def _load_resume_state(self) -> tuple[dict[int, dict], int]:
-        """(completed trials, journal record count) after tail repair and
-        consistency checks; restores the breaker board mid-sweep."""
+    def _load_resume_state(self) -> tuple[dict[int, dict], dict, int]:
+        """(completed trials, header, canonical record count) after tail
+        repair and consistency checks — scanning the merged journal *and*
+        any shards a parallel run left behind; restores per-model breaker
+        boards mid-sweep."""
 
-        records = self.journal.repair_tail()
-        if not records:
-            self.journal.append(self._header_record())
-            return {}, 1
-        header = records[0]
-        if header.get("type") != "header":
-            raise CampaignError("journal-no-header", str(self.journal.path))
-        if header.get("config") != self.config.to_dict():
-            raise CampaignError(
-                "config-mismatch",
-                "journal was written by a campaign with different settings; "
-                "start a fresh --out directory instead",
-            )
-        checkpoint = read_checkpoint(self.checkpoint_path)
-        if checkpoint is not None and checkpoint.get("journal_records", 0) > len(records):
-            raise CampaignError(
-                "journal-behind-checkpoint",
-                f"checkpoint committed {checkpoint['journal_records']} record(s) "
-                f"but the journal holds {len(records)} — committed history was lost",
-            )
+        state = scan_campaign(self.out_dir, repair=True)
+        if state.canonical_records == 0 and not state.trials:
+            header = self._header_record()
+            self.journal.append(header)
+            return {}, header, 1
+        header = validate_resume(state, self.config, read_checkpoint(self.checkpoint_path))
         # pin the model roster to what the interrupted run saw, so the
         # index -> model assignment cannot drift if the cache changed
         self.models = list(header.get("models", self.models))
-        trials = {r["index"]: r for r in records if r.get("type") == "trial"}
-        if trials:
-            last = trials[max(trials)]
-            self._build_runtime(breaker_snapshot=last.get("breakers"))
-        return trials, len(records)
+        self.executor.models = self.models
+        self.executor.restore_boards(state.trials)
+        return dict(state.trials), header, state.canonical_records
 
     def _write_checkpoint(self, done: dict[int, dict], journal_records: int) -> None:
-        next_index = next(
-            (i for i in range(self.config.n_trials) if i not in done), self.config.n_trials
-        )
-        write_checkpoint(
-            self.checkpoint_path,
-            {
-                "version": JOURNAL_VERSION,
-                "n_trials": self.config.n_trials,
-                "completed": len(done),
-                "next_index": next_index,
-                "journal_records": journal_records,
-            },
-        )
+        write_checkpoint(self.checkpoint_path, checkpoint_payload(self.config, done, journal_records))
 
     # -- the loop --------------------------------------------------------
 
     def run(self, *, resume: bool = False, max_new_trials: int | None = None) -> dict:
         """Run (or resume) the campaign; returns a summary dict.
 
-        Without ``resume``, an existing non-empty journal is refused rather
-        than clobbered.  ``max_new_trials`` bounds how many *new* trials this
-        call executes — tests use it to simulate a mid-campaign crash.
+        Without ``resume``, an existing non-empty journal (or any shard) is
+        refused rather than clobbered.  ``max_new_trials`` bounds how many
+        *new* trials this call executes — tests use it to simulate a
+        mid-campaign crash.
         """
 
         if resume:
-            done, journal_records = self._load_resume_state()
+            done, header, journal_records = self._load_resume_state()
         else:
-            if self.journal.repair_tail():
+            state = scan_campaign(self.out_dir, repair=True)
+            if state.canonical_records or state.trials:
                 raise CampaignError(
                     "journal-exists",
-                    f"{self.journal.path} already holds records; pass resume=True / --resume",
+                    f"{self.journal.path} (or a shard) already holds records; "
+                    "pass resume=True / --resume",
                 )
-            self.journal.append(self._header_record())
+            header = self._header_record()
+            self.journal.append(header)
             done = {}
             journal_records = 1
 
@@ -463,26 +727,31 @@ class CampaignRunner:
             if self._stop.is_set() or (max_new_trials is not None and new_trials >= max_new_trials):
                 stopped_early = True
                 break
-            record = self._execute_trial(index)
+            record = self.executor.execute(index)
             self.journal.append(record)
             journal_records += 1
             done[index] = record
             new_trials += 1
             self._write_checkpoint(done, journal_records)
 
-        outcomes = {OUTCOME_OK: 0, OUTCOME_ERROR: 0, OUTCOME_TIMEOUT: 0}
-        for record in done.values():
-            outcomes[record["outcome"]] = outcomes.get(record["outcome"], 0) + 1
-        return {
-            "n_trials": self.config.n_trials,
-            "completed": len(done),
-            "new_trials": new_trials,
-            "stopped_early": stopped_early or self._stop.is_set(),
-            "outcomes": outcomes,
-            "breakers": self.board.non_closed(),
-            "journal": str(self.journal.path),
-            "checkpoint": str(self.checkpoint_path),
-        }
+        if not stopped_early and len(done) == self.config.n_trials and shard_journals(self.out_dir):
+            # a previous parallel (or mixed) run left shards: fold everything
+            # into the canonical journal so the final artefact is identical
+            # to a pure serial run's
+            merge_journal(self.out_dir, header, done)
+            journal_records = 1 + len(done)
+            self._write_checkpoint(done, journal_records)
+
+        summary = summarize_trials(self.config, done)
+        summary.update(
+            {
+                "new_trials": new_trials,
+                "stopped_early": stopped_early or self._stop.is_set(),
+                "journal": str(self.journal.path),
+                "checkpoint": str(self.checkpoint_path),
+            }
+        )
+        return summary
 
 
 # -- CLI -------------------------------------------------------------------
@@ -504,6 +773,13 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--out", required=True, help="campaign directory for journal + checkpoint")
     parser.add_argument("--trials", type=int, default=10, help="total trial count (default: 10)")
     parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="worker processes; >1 fans trials out per model and merges the "
+        "journal shards into a byte-identical canonical journal (default: 1)",
+    )
     parser.add_argument("--models", type=_csv(str), default=(), help="comma-separated model subset")
     parser.add_argument("--kinds", type=_csv(str), default=("bitflip", "gaussian"))
     parser.add_argument("--rates", type=_csv(float), default=(0.001, 0.01, 0.05))
@@ -515,6 +791,12 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--cooldown-ticks", type=int, default=2)
     parser.add_argument("--min-members", type=int, default=2)
     parser.add_argument(
+        "--trial-sleep",
+        type=float,
+        default=0.0,
+        help="artificial seconds of latency per trial (testing/benchmark aid)",
+    )
+    parser.add_argument(
         "--audit-json",
         default=None,
         help="path to `scripts/audit_cache.py --json` output to embed in the journal header",
@@ -525,11 +807,23 @@ def main(argv: list[str] | None = None) -> int:
         default=None,
         help="build a synthetic model under DIR and campaign against it",
     )
+    parser.add_argument(
+        "--synthetic-models",
+        type=int,
+        default=1,
+        help="with --synthetic: number of models to build (default: 1)",
+    )
     args = parser.parse_args(argv)
 
     cache = args.cache
     if args.synthetic is not None:
-        build_synthetic_model(args.synthetic, seed=args.seed)
+        if args.synthetic_models <= 1:
+            build_synthetic_model(args.synthetic, seed=args.seed)
+        else:
+            for i in range(args.synthetic_models):
+                build_synthetic_model(
+                    args.synthetic, f"synthetic-{i:02d}", n_val=96, n_test=96, seed=args.seed + i
+                )
         cache = args.synthetic
 
     audit = None
@@ -552,8 +846,14 @@ def main(argv: list[str] | None = None) -> int:
         failure_threshold=args.failure_threshold,
         cooldown_ticks=args.cooldown_ticks,
         min_members=args.min_members,
+        trial_sleep_s=args.trial_sleep,
     )
-    runner = CampaignRunner(config, args.out, audit=audit)
+    if args.workers > 1:
+        from .parallel import ParallelCampaignRunner
+
+        runner = ParallelCampaignRunner(config, args.out, workers=args.workers, audit=audit)
+    else:
+        runner = CampaignRunner(config, args.out, audit=audit)
 
     def handle_stop(_signum, _frame):
         runner.request_stop()

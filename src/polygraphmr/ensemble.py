@@ -6,6 +6,12 @@ tensor, aggregates predictions, and runs the decision module end-to-end
 missing members still produces a result — explicitly marked degraded and
 naming the members that dropped out — and only when fewer than
 ``min_members`` survive does it raise :class:`DegradedEnsemble`.
+
+A runtime instance (store + breaker board + decision caches) is mutable
+state and must stay within one process: multiprocess campaign workers each
+build their own runtime after ``fork`` via
+:class:`polygraphmr.campaign.TrialExecutor` rather than inherit the
+parent's.
 """
 
 from __future__ import annotations

@@ -98,8 +98,13 @@ class TransientIOError(PolygraphError):
 
 
 class CampaignError(PolygraphError):
-    """A fault-injection campaign cannot proceed (journal/checkpoint damage,
-    inconsistent resume state, ...).  Carries a machine-readable ``reason``."""
+    """A fault-injection campaign cannot proceed.  Carries a machine-readable
+    ``reason``; codes in use include ``journal-bad-checksum`` /
+    ``journal-unparseable-line`` (committed journal history was altered),
+    ``journal-no-header``, ``journal-version-mismatch``, ``config-mismatch``,
+    ``journal-behind-checkpoint`` (a checkpoint committed more records than
+    the journal or a worker shard still holds), ``journal-exists``,
+    ``no-models``, and ``bad-workers``."""
 
     def __init__(self, reason: str, detail: str = ""):
         self.reason = reason

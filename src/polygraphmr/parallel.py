@@ -1,0 +1,290 @@
+"""Multiprocess campaign executor with a deterministic journal merge.
+
+Fault-injection campaigns are embarrassingly parallel across trials
+(MRFI-style sweeps), but parallelism must not weaken the campaign
+subsystem's crash-safety or reproducibility guarantees.  The design here
+keeps both:
+
+* **Model-partitioned fan-out.**  Trial ``i`` belongs to
+  ``models[i % n_models]`` and every trial of a model is owned by one
+  worker (``trial_owner``), which executes its indices in increasing
+  order.  Since :class:`~polygraphmr.campaign.TrialExecutor` keeps breaker
+  boards *per model*, each worker replays exactly the per-model trial
+  sub-sequences a serial run would — so every journal record it writes is
+  byte-identical to the serial run's.
+* **Per-worker journal shards.**  Each worker appends to its own
+  ``journal.wNN.jsonl`` (same sealed format as the canonical journal) —
+  no cross-process file locking, and each shard inherits the
+  torn-tail-repair guarantees of :class:`~polygraphmr.campaign.CampaignJournal`.
+* **Atomic completion merge.**  Shards stay the write-ahead source of
+  truth until every trial is journalled; only then does
+  :func:`~polygraphmr.campaign.merge_journal` atomically rewrite the
+  canonical journal in index order and delete the shards.  A crash at any
+  point — including between the replace and the shard cleanup — loses
+  nothing: resume re-scans canonical + shards and deduplicates by index
+  (duplicate records are byte-identical because trials are deterministic).
+* **SIGTERM draining.**  The parent forwards SIGTERM to every worker;
+  each worker finishes its in-flight trial, journals it, and exits
+  cleanly.  The parent then checkpoints per-worker high-water marks and
+  returns an incomplete summary (CLI exit 3), resumable with ``--resume``
+  under *any* worker count.
+
+Worker state is never shared across ``fork``: each worker constructs its
+own :class:`~polygraphmr.store.ArtifactStore` and ensemble runtimes after
+the fork, inside its own :class:`TrialExecutor`.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import queue as queue_mod
+import signal
+import sys
+import threading
+from pathlib import Path
+
+from .campaign import (
+    CHECKPOINT_NAME,
+    JOURNAL_NAME,
+    JOURNAL_VERSION,
+    CampaignConfig,
+    CampaignJournal,
+    TrialExecutor,
+    checkpoint_payload,
+    discover_models,
+    header_record,
+    merge_journal,
+    read_checkpoint,
+    scan_campaign,
+    shard_journals,
+    shard_name,
+    summarize_trials,
+    validate_resume,
+    write_checkpoint,
+)
+from .errors import CampaignError
+
+__all__ = ["trial_owner", "worker_assignments", "ParallelCampaignRunner"]
+
+
+def trial_owner(index: int, n_models: int, workers: int) -> int:
+    """Which worker owns trial ``index``.
+
+    Ownership is partitioned **by model** (``index % n_models`` names the
+    model, which is then striped over workers), so all trials of one model
+    land on one worker, in order — the assignment rule that makes each
+    journal record independent of the worker count.
+    """
+
+    return (index % n_models) % workers
+
+
+def worker_assignments(
+    n_trials: int, n_models: int, workers: int, done: set[int] | frozenset[int] = frozenset()
+) -> dict[int, list[int]]:
+    """Pending trial indices per worker, each list in increasing order."""
+
+    out: dict[int, list[int]] = {w: [] for w in range(workers)}
+    for index in range(n_trials):
+        if index not in done:
+            out[trial_owner(index, n_models, workers)].append(index)
+    return out
+
+
+def _worker_main(
+    worker_id: int,
+    config: CampaignConfig,
+    out_dir: str,
+    models: list[str],
+    assignment: list[int],
+    done_trials: dict[int, dict],
+    trial_fn,
+    progress,
+) -> None:
+    """One worker process: drain ``assignment`` through a private
+    :class:`TrialExecutor` into a private journal shard.
+
+    SIGTERM/SIGINT set a stop flag checked *between* trials, so the
+    in-flight trial always finishes and is journalled before exit — the
+    same draining contract as the serial runner.
+    """
+
+    stop = threading.Event()
+
+    def handle_stop(_signum, _frame):
+        stop.set()
+
+    # replace whatever handlers the parent installed (they reference the
+    # parent's runner, which fork duplicated into this process)
+    signal.signal(signal.SIGTERM, handle_stop)
+    signal.signal(signal.SIGINT, handle_stop)
+
+    try:
+        shard = CampaignJournal(Path(out_dir) / shard_name(worker_id))
+        shard.repair_tail()
+        executor = TrialExecutor(config, models, trial_fn=trial_fn)
+        executor.restore_boards(done_trials)
+        for index in assignment:
+            if stop.is_set():
+                break
+            record = executor.execute(index)
+            shard.append(record)
+            progress.put((worker_id, index, record["outcome"]))
+    except BaseException as exc:  # noqa: BLE001 - worker failure is an outcome
+        print(f"worker {worker_id:02d} failed: {exc!r}", file=sys.stderr)
+        progress.close()
+        progress.join_thread()
+        raise SystemExit(1) from exc
+    progress.close()
+    progress.join_thread()  # flush the queue feeder before exiting
+
+
+class ParallelCampaignRunner:
+    """Runs a campaign across ``workers`` forked processes.
+
+    API-compatible with :class:`~polygraphmr.campaign.CampaignRunner`
+    (``run(resume=...)`` returning the same summary shape, plus
+    ``workers``/``failed_workers`` fields), and artifact-compatible: once a
+    parallel campaign completes, its merged ``journal.jsonl`` and final
+    ``checkpoint.json`` payload are byte-identical to a serial run's.
+    """
+
+    def __init__(
+        self,
+        config: CampaignConfig,
+        out_dir: str | Path,
+        *,
+        workers: int = 2,
+        trial_fn=None,
+        audit: dict | None = None,
+    ):
+        if workers < 1:
+            raise CampaignError("bad-workers", f"workers must be >= 1, got {workers}")
+        self.config = config
+        self.out_dir = Path(out_dir)
+        self.out_dir.mkdir(parents=True, exist_ok=True)
+        self.workers = workers
+        self.trial_fn = trial_fn
+        self.audit = audit
+        self.journal = CampaignJournal(self.out_dir / JOURNAL_NAME)
+        self.checkpoint_path = self.out_dir / CHECKPOINT_NAME
+        self._stop = threading.Event()
+        self.models = discover_models(config)
+        # trial_fn closures don't survive pickling; fork keeps them intact
+        # (and is what lets workers inherit the parent's loaded modules)
+        self._ctx = mp.get_context("fork")
+
+    def request_stop(self) -> None:
+        """Forward a graceful stop: every worker finishes its in-flight
+        trial, journals it, and exits; the parent checkpoints and returns."""
+
+        self._stop.set()
+
+    def _checkpoint(self, done: set[int], canonical_records: int, marks: dict[int, int]) -> None:
+        next_index = next((i for i in range(self.config.n_trials) if i not in done), self.config.n_trials)
+        payload = {
+            "version": JOURNAL_VERSION,
+            "n_trials": self.config.n_trials,
+            "completed": len(done),
+            "next_index": next_index,
+            "journal_records": canonical_records,
+            "workers": {f"{w:02d}": {"journalled": n} for w, n in sorted(marks.items())},
+        }
+        write_checkpoint(self.checkpoint_path, payload)
+
+    def run(self, *, resume: bool = False) -> dict:
+        state = scan_campaign(self.out_dir, repair=True)
+        if resume and (state.canonical_records or state.trials):
+            header = validate_resume(state, self.config, read_checkpoint(self.checkpoint_path))
+            self.models = list(header.get("models", self.models))
+            done_trials = dict(state.trials)
+            canonical_records = state.canonical_records
+        else:
+            if state.canonical_records or state.trials:
+                raise CampaignError(
+                    "journal-exists",
+                    f"{self.journal.path} (or a shard) already holds records; "
+                    "pass resume=True / --resume",
+                )
+            header = header_record(self.config, self.models, self.audit)
+            self.journal.append(header)
+            done_trials = {}
+            canonical_records = 1
+
+        n_workers = min(self.workers, max(1, len(self.models)))
+        assignments = worker_assignments(
+            self.config.n_trials, len(self.models), n_workers, set(done_trials)
+        )
+        marks = dict(state.shard_counts)
+        progress = self._ctx.Queue()
+        procs: dict[int, mp.process.BaseProcess] = {}
+        for worker_id, assignment in assignments.items():
+            if not assignment:
+                continue
+            proc = self._ctx.Process(
+                target=_worker_main,
+                args=(
+                    worker_id,
+                    self.config,
+                    str(self.out_dir),
+                    self.models,
+                    assignment,
+                    done_trials,
+                    self.trial_fn,
+                    progress,
+                ),
+                name=f"campaign-w{worker_id:02d}",
+            )
+            proc.start()
+            procs[worker_id] = proc
+
+        done = set(done_trials)
+        new_trials = 0
+        forwarded_stop = False
+        while True:
+            if self._stop.is_set() and not forwarded_stop:
+                for proc in procs.values():
+                    proc.terminate()  # SIGTERM -> worker drains in-flight trial
+                forwarded_stop = True
+            try:
+                worker_id, index, _outcome = progress.get(timeout=0.2)
+            except queue_mod.Empty:
+                if all(not p.is_alive() for p in procs.values()):
+                    break
+                continue
+            done.add(index)
+            new_trials += 1
+            marks[worker_id] = marks.get(worker_id, 0) + 1
+            self._checkpoint(done, canonical_records, marks)
+        for proc in procs.values():
+            proc.join()
+        progress.close()
+
+        failed_workers = sorted(w for w, p in procs.items() if p.exitcode != 0)
+        # the shards are authoritative — a worker may have journalled a trial
+        # and died before its progress event was consumed
+        state = scan_campaign(self.out_dir, repair=True)
+        done_trials = dict(state.trials)
+        complete = state.complete(self.config.n_trials)
+        if complete:
+            merge_journal(self.out_dir, header, done_trials)
+            canonical_records = 1 + len(done_trials)
+            write_checkpoint(
+                self.checkpoint_path,
+                checkpoint_payload(self.config, done_trials, canonical_records),
+            )
+        else:
+            self._checkpoint(set(done_trials), canonical_records, state.shard_counts)
+
+        summary = summarize_trials(self.config, done_trials)
+        summary.update(
+            {
+                "new_trials": new_trials,
+                "stopped_early": not complete,
+                "workers": n_workers,
+                "failed_workers": failed_workers,
+                "journal": str(self.journal.path),
+                "checkpoint": str(self.checkpoint_path),
+            }
+        )
+        return summary

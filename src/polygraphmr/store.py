@@ -58,6 +58,14 @@ class ArtifactStore:
     in :attr:`salvaged` (path → :class:`SalvageReport`) instead.  Semantic
     failures (wrong shape, off-simplex rows) are never salvaged — carving can
     rescue bytes, not meaning.
+
+    **Fork-safety.**  The store keeps no open file handles — every load
+    reads whole files into memory — but its quarantine/salvage registries
+    are mutable per-instance state.  Multiprocess campaign workers must
+    therefore build their *own* store after ``fork`` (see
+    :class:`polygraphmr.campaign.TrialExecutor`, which constructs the store
+    lazily, and :meth:`fresh` for an explicit re-open) rather than share a
+    parent's instance across processes.
     """
 
     def __init__(
@@ -72,6 +80,15 @@ class ArtifactStore:
         self.allow_salvaged = allow_salvaged
         self.quarantine: dict[str, str] = {}
         self.salvaged: dict[str, SalvageReport] = {}
+
+    def fresh(self) -> ArtifactStore:
+        """A new store over the same root with the same policy but empty
+        quarantine/salvage state — the safe way to hand a store's
+        configuration to a forked worker."""
+
+        return ArtifactStore(
+            self.root, retry_policy=self.retry_policy, allow_salvaged=self.allow_salvaged
+        )
 
     # -- paths -----------------------------------------------------------
 

@@ -1,14 +1,25 @@
-"""Shared fixtures: a fully-valid synthetic cache, plus paths into the real
-(seed) ``.repro_cache``, whose npz artifacts are all known-corrupt."""
+"""Shared fixtures: synthetic cache builders (every npz cache a test uses is
+built here, never inline in a test file), plus paths into the real (seed)
+``.repro_cache``, whose npz artifacts are all known-corrupt."""
 
 from __future__ import annotations
 
 from pathlib import Path
 
+import numpy as np
 import pytest
 
 from polygraphmr.faults import build_synthetic_model
 from polygraphmr.store import ArtifactStore
+
+try:  # hypothesis is a dev extra; only the property tests need it
+    from hypothesis import settings
+
+    # journal appends fsync per record — wall-clock deadlines just flake
+    settings.register_profile("polygraphmr", deadline=None)
+    settings.load_profile("polygraphmr")
+except ImportError:
+    pass
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
 SEED_CACHE = REPO_ROOT / ".repro_cache"
@@ -28,6 +39,57 @@ def synthetic_cache(tmp_path: Path) -> Path:
 @pytest.fixture()
 def synthetic_store(synthetic_cache: Path) -> ArtifactStore:
     return ArtifactStore(synthetic_cache)
+
+
+@pytest.fixture()
+def multi_model_cache(tmp_path: Path) -> Path:
+    """A cache root with four small valid models (``net-00`` … ``net-03``) —
+    enough distinct models for a 4-worker parallel campaign, since trial
+    ownership is partitioned by model."""
+
+    root = tmp_path / "cache4"
+    for i in range(4):
+        build_synthetic_model(root, f"net-{i:02d}", n_val=64, n_test=64, seed=11 + i)
+    return root
+
+
+@pytest.fixture()
+def bare_cache(tmp_path: Path):
+    """Factory for a cache root with empty model directories — enough for
+    campaign runners whose ``trial_fn`` is faked and never touches the store."""
+
+    def build(*models: str) -> Path:
+        root = tmp_path / "cache"
+        for model in models or ("m",):
+            (root / model).mkdir(parents=True)
+        return root
+
+    return build
+
+
+@pytest.fixture()
+def add_model(tmp_path: Path):
+    """Factory that drops another fully-valid synthetic model into a cache."""
+
+    def build(root: Path, model: str, *, n_val: int = 96, n_test: int = 96, seed: int = 3) -> Path:
+        return build_synthetic_model(
+            root, model, members=SYNTH_MEMBERS, n_val=n_val, n_test=n_test, seed=seed
+        )
+
+    return build
+
+
+@pytest.fixture()
+def write_probs():
+    """Factory writing a raw probs npz (valid container, caller-chosen
+    contents) — for tests that need a semantically-broken member."""
+
+    def write(path: Path, probs: np.ndarray) -> Path:
+        path.parent.mkdir(parents=True, exist_ok=True)
+        np.savez(path, probs=probs)
+        return path
+
+    return write
 
 
 @pytest.fixture()

@@ -7,7 +7,7 @@ import pytest
 
 from polygraphmr.ensemble import DegradedResult, EnsembleResult, EnsembleRuntime, ModelSkipped
 from polygraphmr.errors import DegradedEnsemble
-from polygraphmr.faults import build_synthetic_model, corrupt_file_truncate
+from polygraphmr.faults import corrupt_file_truncate
 from polygraphmr.store import ArtifactStore
 
 from .conftest import SYNTH_MEMBERS
@@ -82,9 +82,9 @@ class TestDegradedMode:
             runtime.assemble("tinynet", "val", members=["ORG", "pp-Nope", "pp-AlsoNope"])
         assert exc_info.value.available == ["ORG"]
 
-    def test_shape_disagreement_quarantines_member(self, synthetic_store, synthetic_cache):
+    def test_shape_disagreement_quarantines_member(self, synthetic_store, synthetic_cache, write_probs):
         bad = synthetic_cache / "tinynet" / "replica-001.val.probs.npz"
-        np.savez(bad, probs=np.full((8, 10), 0.1, dtype=np.float32))  # wrong N
+        write_probs(bad, np.full((8, 10), 0.1, dtype=np.float32))  # wrong N
         runtime = EnsembleRuntime(synthetic_store)
         batch = runtime.assemble("tinynet", "val", members=list(SYNTH_MEMBERS))
         assert batch.quarantined.get("replica-001") == "probs-shape-disagrees"
@@ -116,12 +116,12 @@ class TestSeedCacheSweep:
 
 
 class TestRunCacheDeterminism:
-    def test_two_sweeps_are_byte_identical(self, synthetic_cache):
+    def test_two_sweeps_are_byte_identical(self, synthetic_cache, add_model):
         """Campaign results are only trustworthy if the sweep itself is
         deterministic: two fresh store+runtime pairs over the same cache must
         visit models in the same order and produce byte-identical outputs."""
 
-        build_synthetic_model(synthetic_cache, "aaanet", members=SYNTH_MEMBERS, n_val=96, n_test=96, seed=3)
+        add_model(synthetic_cache, "aaanet", n_val=96, n_test=96, seed=3)
 
         def sweep():
             runtime = EnsembleRuntime(ArtifactStore(synthetic_cache), seed=0)

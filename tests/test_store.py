@@ -59,9 +59,9 @@ class TestQuarantine:
         assert synthetic_store.try_load_probs("tinynet", "pp-Head", "test") is None
         assert synthetic_store.quarantine[str(dst)] == "bad-magic"
 
-    def test_semantic_violation_is_quarantined(self, synthetic_store, synthetic_cache):
+    def test_semantic_violation_is_quarantined(self, synthetic_store, synthetic_cache, write_probs):
         bad = synthetic_cache / "tinynet" / "pp-Bad.val.probs.npz"
-        np.savez(bad, probs=np.full((8, 10), 0.5))  # rows sum to 5, not 1
+        write_probs(bad, np.full((8, 10), 0.5))  # rows sum to 5, not 1
         with pytest.raises(Exception) as exc_info:
             synthetic_store.load_probs("tinynet", "pp-Bad", "val")
         assert getattr(exc_info.value, "reason", "") == "probs-not-simplex"
