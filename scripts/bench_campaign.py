@@ -1,0 +1,295 @@
+#!/usr/bin/env python3
+"""Seeded campaign benchmark: the first point of the perf trajectory.
+
+Runs the same synthetic-model campaign serially and with ``--workers N``
+sweeps, records wall-clock, trials/sec, speedup, and p50/p95/p99 trial
+latency (read from the campaign's merged metrics histograms — the same
+out-of-band ``metrics.json`` every campaign writes), and emits
+``BENCH_campaign.json``::
+
+    PYTHONPATH=src python scripts/bench_campaign.py --seed 7 --workers 4
+
+The workload is sleep-padded (``--trial-sleep``) so the numbers measure the
+campaign executor — journal/checkpoint machinery, fan-out, merge — rather
+than the model math, which keeps trials/sec comparable across machines.
+Every parallel run's journal is also checked byte-identical to the serial
+reference (a benchmark that broke determinism would be measuring the wrong
+thing).
+
+With ``--baseline BENCH_campaign.json``, trials/sec for each matching
+worker count is gated against the committed baseline: a regression beyond
+``--max-regression`` (default 30%) fails the run (exit 1) after one
+re-measurement.  CI runs this on every push and uploads the fresh JSON and
+Prometheus dump as artifacts.
+"""
+
+from __future__ import annotations
+
+import argparse
+import hashlib
+import json
+import platform
+import subprocess
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from polygraphmr.faults import build_synthetic_model  # noqa: E402
+from polygraphmr.metrics import load_registry  # noqa: E402
+
+SCHEMA = "polygraphmr/bench-campaign/v1"
+ENV = {"PYTHONPATH": str(REPO_ROOT / "src")}
+QUANTILES = (("p50", 0.50), ("p95", 0.95), ("p99", 0.99))
+
+
+def parse_workers(text: str) -> tuple[int, ...]:
+    out = tuple(int(part) for part in text.split(",") if part)
+    if not out or any(w < 2 for w in out):
+        raise argparse.ArgumentTypeError(f"--workers needs parallel counts >= 2, got {text!r}")
+    return out
+
+
+def campaign_cmd(cache: Path, out: Path, metrics_json: Path, args, workers: int) -> list[str]:
+    return [
+        sys.executable,
+        "-m",
+        "polygraphmr.campaign",
+        "--cache",
+        str(cache),
+        "--out",
+        str(out),
+        "--trials",
+        str(args.trials),
+        "--seed",
+        str(args.seed),
+        "--timeout",
+        "120",
+        "--trial-sleep",
+        str(args.trial_sleep),
+        "--workers",
+        str(workers),
+        "--metrics-out",
+        str(metrics_json),
+    ]
+
+
+def run_one(cache: Path, out: Path, args, workers: int) -> dict:
+    """One timed campaign run -> a bench ``runs[]`` entry (sans speedup)."""
+
+    metrics_json = out.with_suffix(".metrics.json")
+    start = time.monotonic()
+    proc = subprocess.run(
+        campaign_cmd(cache, out, metrics_json, args, workers),
+        env=ENV,
+        capture_output=True,
+        text=True,
+    )
+    wall_s = time.monotonic() - start
+    if proc.returncode != 0:
+        raise SystemExit(
+            f"FAIL: workers={workers} campaign exited {proc.returncode}: {proc.stderr}"
+        )
+    summary = json.loads(proc.stdout)
+    if summary["completed"] != args.trials:
+        raise SystemExit(f"FAIL: workers={workers} completed {summary['completed']}/{args.trials}")
+
+    registry = load_registry(metrics_json)
+    if registry is None:
+        raise SystemExit(f"FAIL: workers={workers} wrote no readable metrics at {metrics_json}")
+    hist = registry.histogram_for("campaign_trial_seconds")
+    if hist is None or hist.count != args.trials:
+        raise SystemExit(f"FAIL: workers={workers} trial histogram missing or short: {hist}")
+
+    journal = (out / "journal.jsonl").read_bytes()
+    return {
+        "workers": workers,
+        "wall_s": round(wall_s, 4),
+        "trials_per_s": round(args.trials / wall_s, 4),
+        "trial_latency_s": {name: hist.quantile(q) for name, q in QUANTILES},
+        "trial_latency_mean_s": round(hist.sum / hist.count, 6),
+        "journal_sha256": hashlib.sha256(journal).hexdigest(),
+    }
+
+
+def run_sweep(tmp: Path, cache: Path, args, label: str) -> list[dict]:
+    """Serial reference plus every requested worker count, with the
+    byte-identity cross-check and speedups filled in."""
+
+    sweep_dir = tmp / label
+    serial = run_one(cache, sweep_dir / "serial", args, workers=1)
+    serial["speedup_vs_serial"] = 1.0
+    runs = [serial]
+    for workers in args.workers:
+        entry = run_one(cache, sweep_dir / f"w{workers}", args, workers=workers)
+        if entry["journal_sha256"] != serial["journal_sha256"]:
+            raise SystemExit(
+                f"FAIL: workers={workers} journal differs from the serial reference "
+                "(determinism broken; timings are meaningless)"
+            )
+        entry["speedup_vs_serial"] = round(serial["wall_s"] / entry["wall_s"], 4)
+        runs.append(entry)
+        print(
+            f"[{label}] workers={workers}: {entry['wall_s']:.2f}s "
+            f"({entry['trials_per_s']:.2f} trials/s, {entry['speedup_vs_serial']:.2f}x)"
+        )
+    print(f"[{label}] serial: {serial['wall_s']:.2f}s ({serial['trials_per_s']:.2f} trials/s)")
+    return runs
+
+
+def validate_bench(payload: dict) -> None:
+    """Schema check for ``BENCH_campaign.json``; raises ValueError."""
+
+    if payload.get("schema") != SCHEMA:
+        raise ValueError(f"schema must be {SCHEMA!r}, got {payload.get('schema')!r}")
+    config = payload.get("config")
+    if not isinstance(config, dict):
+        raise ValueError("config must be an object")
+    for key in ("seed", "trials", "models", "trial_sleep_s"):
+        if not isinstance(config.get(key), (int, float)):
+            raise ValueError(f"config.{key} must be a number")
+    runs = payload.get("runs")
+    if not isinstance(runs, list) or not runs:
+        raise ValueError("runs must be a non-empty list")
+    if runs[0].get("workers") != 1:
+        raise ValueError("runs[0] must be the serial reference (workers == 1)")
+    for run in runs:
+        for key in ("workers", "wall_s", "trials_per_s", "speedup_vs_serial"):
+            if not isinstance(run.get(key), (int, float)):
+                raise ValueError(f"runs[].{key} must be a number")
+        latency = run.get("trial_latency_s")
+        if not isinstance(latency, dict):
+            raise ValueError("runs[].trial_latency_s must be an object")
+        for name, _ in QUANTILES:
+            if not isinstance(latency.get(name), (int, float)):
+                raise ValueError(f"runs[].trial_latency_s.{name} must be a number")
+
+
+def gate_against_baseline(runs: list[dict], baseline: dict, max_regression: float) -> list[str]:
+    """trials/sec per worker count vs the committed baseline; returns the
+    list of human-readable failures (empty = pass)."""
+
+    base_by_workers = {r["workers"]: r for r in baseline.get("runs", [])}
+    failures = []
+    for run in runs:
+        base = base_by_workers.get(run["workers"])
+        if base is None:
+            continue
+        floor = base["trials_per_s"] * (1.0 - max_regression)
+        if run["trials_per_s"] < floor:
+            failures.append(
+                f"workers={run['workers']}: {run['trials_per_s']:.2f} trials/s "
+                f"< floor {floor:.2f} (baseline {base['trials_per_s']:.2f}, "
+                f"max regression {max_regression:.0%})"
+            )
+    return failures
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument("--trials", type=int, default=32)
+    parser.add_argument("--models", type=int, default=4)
+    parser.add_argument(
+        "--trial-sleep",
+        type=float,
+        default=0.25,
+        help="sleep padding per trial (seconds); keeps the bench executor-bound",
+    )
+    parser.add_argument(
+        "--workers",
+        type=parse_workers,
+        default=(2, 4),
+        help="comma-separated parallel worker counts to sweep (default: 2,4)",
+    )
+    parser.add_argument("--out", default="BENCH_campaign.json", help="bench JSON output path")
+    parser.add_argument(
+        "--prom-out",
+        default=None,
+        help="also dump the largest sweep's metrics in Prometheus text format here",
+    )
+    parser.add_argument(
+        "--baseline",
+        default=None,
+        help="committed BENCH_campaign.json to gate trials/sec against",
+    )
+    parser.add_argument(
+        "--max-regression",
+        type=float,
+        default=0.30,
+        help="max tolerated fractional trials/sec regression vs baseline (default: 0.30)",
+    )
+    args = parser.parse_args(argv)
+
+    tmp = Path(tempfile.mkdtemp(prefix="polygraphmr-bench-"))
+    cache = tmp / "cache"
+    for i in range(args.models):
+        build_synthetic_model(cache, f"bench-{i:02d}", n_val=96, n_test=96, seed=args.seed + i)
+
+    runs = run_sweep(tmp, cache, args, "sweep")
+
+    baseline = None
+    if args.baseline:
+        baseline_path = Path(args.baseline)
+        if baseline_path.is_file():
+            baseline = json.loads(baseline_path.read_text(encoding="utf-8"))
+            validate_bench(baseline)
+        else:
+            print(f"note: baseline {baseline_path} not found; gate skipped")
+
+    failures = gate_against_baseline(runs, baseline, args.max_regression) if baseline else []
+    if failures:
+        # shared runners blip; re-measure once before declaring a regression
+        print("regression gate tripped; re-measuring the sweep once")
+        retry_runs = run_sweep(tmp, cache, args, "retry")
+        by_workers = {r["workers"]: r for r in runs}
+        for candidate in retry_runs:
+            best = by_workers[candidate["workers"]]
+            if candidate["trials_per_s"] > best["trials_per_s"]:
+                by_workers[candidate["workers"]] = candidate
+        runs = [by_workers[w] for w in sorted(by_workers)]
+        failures = gate_against_baseline(runs, baseline, args.max_regression)
+
+    payload = {
+        "schema": SCHEMA,
+        "config": {
+            "seed": args.seed,
+            "trials": args.trials,
+            "models": args.models,
+            "trial_sleep_s": args.trial_sleep,
+        },
+        "runs": runs,
+        "host": {
+            "python": platform.python_version(),
+            "platform": sys.platform,
+            "machine": platform.machine(),
+        },
+    }
+    validate_bench(payload)
+    out_path = Path(args.out)
+    out_path.parent.mkdir(parents=True, exist_ok=True)
+    out_path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n", encoding="utf-8")
+    print(f"wrote {out_path}")
+
+    if args.prom_out:
+        biggest = max(args.workers)
+        metrics_json = tmp / "sweep" / f"w{biggest}.metrics.json"
+        registry = load_registry(metrics_json)
+        if registry is not None:
+            prom = Path(args.prom_out)
+            prom.parent.mkdir(parents=True, exist_ok=True)
+            prom.write_text(registry.to_prometheus(), encoding="utf-8")
+            print(f"wrote {prom}")
+
+    if failures:
+        for failure in failures:
+            print(f"FAIL: {failure}", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -12,6 +12,8 @@ Layers (see ``docs/ARCHITECTURE.md``):
 3. Fault-injection harness (:mod:`polygraphmr.faults`) and the crash-safe,
    resumable campaign runner over it (:mod:`polygraphmr.campaign`).
 4. Error taxonomy + bounded retry (:mod:`polygraphmr.errors`).
+5. Observability — out-of-band metrics registry and tracing spans
+   (:mod:`polygraphmr.metrics`, :mod:`polygraphmr.tracing`).
 """
 
 from .breaker import BreakerBoard, BreakerPolicy, CircuitBreaker
@@ -30,9 +32,20 @@ from .errors import (
     retry_with_backoff,
 )
 from .manifest import CacheManifest, ModelManifest
+from .metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    get_registry,
+    load_registry,
+    merge_registries,
+    set_registry,
+)
 from .naming import display_to_stem, resolve_greedy_file, stem_to_display
 from .salvage import SalvageReport, salvage_npz
 from .store import ArtifactStore
+from .tracing import Span, SpanRecord, Tracer, get_tracer, set_tracer
 
 __version__ = "0.1.0"
 
@@ -78,30 +91,43 @@ __all__ = [
     "CampaignJournal",
     "CampaignRunner",
     "CircuitBreaker",
+    "Counter",
     "DegradedEnsemble",
     "DegradedResult",
     "DetectionMetrics",
     "EnsembleResult",
     "EnsembleRuntime",
     "FaultSpec",
+    "Gauge",
+    "Histogram",
     "IntegrityMismatch",
     "LogisticDecisionModule",
+    "MetricsRegistry",
     "ModelManifest",
     "ModelSkipped",
     "ParallelCampaignRunner",
     "PolygraphError",
     "RetryPolicy",
     "SalvageReport",
+    "Span",
+    "SpanRecord",
+    "Tracer",
     "TransientIOError",
     "TrialExecutor",
     "TrialSpec",
     "display_to_stem",
+    "get_registry",
+    "get_tracer",
     "inject_bitflips",
     "inject_gaussian",
+    "load_registry",
     "measure_degradation",
+    "merge_registries",
     "resolve_greedy_file",
     "retry_with_backoff",
     "salvage_npz",
+    "set_registry",
+    "set_tracer",
     "stem_to_display",
     "__version__",
 ]

@@ -22,6 +22,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from .metrics import get_registry
+
 __all__ = [
     "CLOSED",
     "OPEN",
@@ -60,6 +62,14 @@ class CircuitBreaker:
         self.opened_at_tick: int | None = None
         self.n_skipped = 0  # cheap skips served while open
 
+    def _transition(self, to_state: str) -> None:
+        """Move to ``to_state``, counting the transition (out-of-band) when
+        the state actually changes."""
+
+        if self.state != to_state:
+            get_registry().counter("breaker_transitions_total", to=to_state).inc()
+        self.state = to_state
+
     def allow(self, tick: int) -> bool:
         """Whether a load may be attempted at ``tick``; flips open → half-open
         when the cool-down has elapsed (the admitted load is the probe)."""
@@ -68,20 +78,21 @@ class CircuitBreaker:
             return True
         assert self.opened_at_tick is not None
         if tick - self.opened_at_tick >= self.policy.cooldown_ticks:
-            self.state = HALF_OPEN
+            self._transition(HALF_OPEN)
             return True
         self.n_skipped += 1
+        get_registry().counter("breaker_skips_total").inc()
         return False
 
     def record_success(self) -> None:
-        self.state = CLOSED
+        self._transition(CLOSED)
         self.consecutive_failures = 0
         self.opened_at_tick = None
 
     def record_failure(self, tick: int) -> None:
         self.consecutive_failures += 1
         if self.state == HALF_OPEN or self.consecutive_failures >= self.policy.failure_threshold:
-            self.state = OPEN
+            self._transition(OPEN)
             self.opened_at_tick = tick
 
     # -- serialisation ---------------------------------------------------

@@ -50,7 +50,16 @@ from .breaker import BreakerBoard, BreakerPolicy, merge_snapshots, non_closed_in
 from .ensemble import EnsembleRuntime
 from .errors import CampaignError
 from .faults import FaultSpec, build_synthetic_model, measure_degradation
+from .metrics import (
+    METRICS_NAME,
+    MetricsRegistry,
+    get_registry,
+    load_registry,
+    merge_registries,
+    metrics_shards,
+)
 from .store import ArtifactStore
+from .tracing import get_tracer
 
 __all__ = [
     "OUTCOME_OK",
@@ -575,28 +584,46 @@ class TrialExecutor:
         self.boards[model] = board
 
     def execute(self, index: int) -> dict:
-        """Run one trial and build its (deterministic) journal record."""
+        """Run one trial and build its (deterministic) journal record.
 
+        Each trial is wrapped in a tracing span and metered into the
+        ``campaign_trial_seconds`` histogram / ``campaign_trials_total``
+        counter — all out-of-band; the returned record carries no timing.
+        """
+
+        registry = get_registry()
         spec = derive_trial_spec(self.config, self.models, index)
-        if self.config.trial_sleep_s > 0:
-            time.sleep(self.config.trial_sleep_s)
-        pre_breakers = self.board_for(spec.model).snapshot()
-        outcome, value, error = self._call_with_watchdog(spec)
-        record = {
-            "type": "trial",
-            "index": index,
-            "spec": spec.to_dict(),
-            "outcome": outcome,
-        }
+        with get_tracer().span(
+            "campaign.trial",
+            index=index,
+            model=spec.model,
+            observe=registry.histogram("campaign_trial_seconds"),
+        ) as span:
+            if self.config.trial_sleep_s > 0:
+                time.sleep(self.config.trial_sleep_s)
+            pre_breakers = self.board_for(spec.model).snapshot()
+            outcome, value, error = self._call_with_watchdog(spec)
+            span.set(outcome=outcome)
+            record = {
+                "type": "trial",
+                "index": index,
+                "spec": spec.to_dict(),
+                "outcome": outcome,
+            }
+            if outcome == OUTCOME_TIMEOUT:
+                self._rebuild_after_timeout(spec.model, pre_breakers)
+                record["breakers"] = pre_breakers
+            else:
+                record["breakers"] = self.boards[spec.model].snapshot()
+            if outcome == OUTCOME_OK:
+                record["result"] = value
+            elif outcome == OUTCOME_ERROR:
+                record["error"] = repr(error)
+        registry.counter("campaign_trials_total", outcome=outcome).inc()
         if outcome == OUTCOME_TIMEOUT:
-            self._rebuild_after_timeout(spec.model, pre_breakers)
-            record["breakers"] = pre_breakers
-        else:
-            record["breakers"] = self.boards[spec.model].snapshot()
-        if outcome == OUTCOME_OK:
-            record["result"] = value
-        elif outcome == OUTCOME_ERROR:
-            record["error"] = repr(error)
+            # the watchdog firing was previously only journalled; count it so
+            # dashboards see hung trials without parsing the journal
+            registry.counter("campaign_watchdog_fired_total").inc()
         return record
 
 
@@ -693,6 +720,32 @@ class CampaignRunner:
     def _write_checkpoint(self, done: dict[int, dict], journal_records: int) -> None:
         write_checkpoint(self.checkpoint_path, checkpoint_payload(self.config, done, journal_records))
 
+    # -- metrics (strictly out-of-band) ----------------------------------
+
+    def _discard_stale_metric_shards(self) -> None:
+        """Metric shards are per-run scratch: a shard left by a dead run
+        would double-count if folded into this run's totals."""
+
+        for path in metrics_shards(self.out_dir).values():
+            path.unlink()
+
+    def _finalize_metrics(self, completed: int) -> MetricsRegistry:
+        """Fold the process-global registry with any worker shards into
+        ``metrics.json``, then delete the shards.
+
+        Never touches the journal or checkpoint — metrics files are a
+        separate artefact with no determinism contract on their bytes.
+        """
+
+        registry = get_registry()
+        registry.gauge("campaign_trials_completed").set(float(completed))
+        shards = [load_registry(p) for _, p in sorted(metrics_shards(self.out_dir).items())]
+        merged = merge_registries([registry, *[s for s in shards if s is not None]])
+        merged.write_json(self.out_dir / METRICS_NAME)
+        self._discard_stale_metric_shards()
+        self.merged_registry = merged
+        return merged
+
     # -- the loop --------------------------------------------------------
 
     def run(self, *, resume: bool = False, max_new_trials: int | None = None) -> dict:
@@ -702,8 +755,14 @@ class CampaignRunner:
         refused rather than clobbered.  ``max_new_trials`` bounds how many
         *new* trials this call executes — tests use it to simulate a
         mid-campaign crash.
+
+        The process-global metrics registry and tracer are reset on entry so
+        the campaign's ``metrics.json`` describes exactly one run, even when
+        several runners execute in the same process.
         """
 
+        get_registry().reset()
+        get_tracer().reset()
         if resume:
             done, header, journal_records = self._load_resume_state()
         else:
@@ -718,6 +777,7 @@ class CampaignRunner:
             self.journal.append(header)
             done = {}
             journal_records = 1
+        self._discard_stale_metric_shards()
 
         new_trials = 0
         stopped_early = False
@@ -742,6 +802,7 @@ class CampaignRunner:
             journal_records = 1 + len(done)
             self._write_checkpoint(done, journal_records)
 
+        self._finalize_metrics(len(done))
         summary = summarize_trials(self.config, done)
         summary.update(
             {
@@ -749,6 +810,7 @@ class CampaignRunner:
                 "stopped_early": stopped_early or self._stop.is_set(),
                 "journal": str(self.journal.path),
                 "checkpoint": str(self.checkpoint_path),
+                "metrics": str(self.out_dir / METRICS_NAME),
             }
         )
         return summary
@@ -795,6 +857,16 @@ def main(argv: list[str] | None = None) -> int:
         type=float,
         default=0.0,
         help="artificial seconds of latency per trial (testing/benchmark aid)",
+    )
+    parser.add_argument(
+        "--metrics-out",
+        default=None,
+        help="also write the merged campaign metrics (JSON) to this path",
+    )
+    parser.add_argument(
+        "--metrics-prom",
+        default=None,
+        help="also write the merged campaign metrics in Prometheus text format to this path",
     )
     parser.add_argument(
         "--audit-json",
@@ -866,6 +938,14 @@ def main(argv: list[str] | None = None) -> int:
     except CampaignError as exc:
         print(f"campaign error: {exc}", file=sys.stderr)
         return 2
+    merged = getattr(runner, "merged_registry", None)
+    if merged is not None:
+        if args.metrics_out:
+            merged.write_json(args.metrics_out)
+        if args.metrics_prom:
+            prom = Path(args.metrics_prom)
+            prom.parent.mkdir(parents=True, exist_ok=True)
+            prom.write_text(merged.to_prometheus(), encoding="utf-8")
     json.dump(summary, sys.stdout, indent=2)
     sys.stdout.write("\n")
     return 0 if summary["completed"] == config.n_trials else 3

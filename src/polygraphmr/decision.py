@@ -9,9 +9,12 @@ split and evaluated on ``test`` — pure numpy, no external ML dependency.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 
 import numpy as np
+
+from .metrics import get_registry
 
 __all__ = ["DetectionMetrics", "LogisticDecisionModule", "ensemble_features", "misprediction_targets"]
 
@@ -128,6 +131,7 @@ class LogisticDecisionModule:
     # -- API -------------------------------------------------------------
 
     def fit(self, features: np.ndarray, targets: np.ndarray) -> "LogisticDecisionModule":
+        start = time.perf_counter()
         x = self._standardise(np.asarray(features, dtype=np.float64), fit=True)
         y = np.asarray(targets, dtype=np.float64).reshape(-1)
         rng = np.random.default_rng(self.seed)
@@ -139,13 +143,17 @@ class LogisticDecisionModule:
             err = p - y
             self.w -= self.lr * (x.T @ err / n + self.l2 * self.w)
             self.b -= self.lr * float(err.mean())
+        get_registry().histogram("decision_fit_seconds").observe(time.perf_counter() - start)
         return self
 
     def predict_proba(self, features: np.ndarray) -> np.ndarray:
         if self.w is None:
             raise RuntimeError("decision module is not fitted")
+        start = time.perf_counter()
         x = self._standardise(np.asarray(features, dtype=np.float64), fit=False)
-        return self._sigmoid(x @ self.w + self.b)
+        out = self._sigmoid(x @ self.w + self.b)
+        get_registry().histogram("decision_predict_seconds").observe(time.perf_counter() - start)
+        return out
 
     def predict(self, features: np.ndarray, *, threshold: float = 0.5) -> np.ndarray:
         return (self.predict_proba(features) >= threshold).astype(np.int64)

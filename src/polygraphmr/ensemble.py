@@ -23,7 +23,9 @@ import numpy as np
 from .breaker import BreakerBoard
 from .decision import DetectionMetrics, LogisticDecisionModule, ensemble_features, misprediction_targets
 from .errors import DegradedEnsemble
+from .metrics import get_registry
 from .store import ArtifactStore
+from .tracing import get_tracer
 
 __all__ = ["EnsembleBatch", "EnsembleResult", "DegradedResult", "ModelSkipped", "EnsembleRuntime"]
 
@@ -133,6 +135,7 @@ class EnsembleRuntime:
         is cheap; the breaker exists to avoid re-reading corrupt bytes.
         """
 
+        registry = get_registry()
         plan = members if members is not None else self.member_plan(model, greedy=None)
         loaded: dict[str, np.ndarray] = {}
         missing: list[str] = []
@@ -141,20 +144,24 @@ class EnsembleRuntime:
         for stem in plan:
             if self.breakers is not None and not self.breakers.allow(model, stem):
                 quarantined[stem] = "circuit-open"
+                registry.counter("ensemble_member_skips_total", reason="circuit-open").inc()
                 continue
             path = self.store.probs_path(model, stem, split)
             if not path.is_file():
                 missing.append(stem)
+                registry.counter("ensemble_member_skips_total", reason="missing").inc()
                 continue
             probs = self.store.try_load_probs(model, stem, split)
             if probs is None:
                 quarantined[stem] = self.store.quarantine.get(str(path), "unknown")
+                registry.counter("ensemble_member_skips_total", reason="quarantined").inc()
                 if self.breakers is not None:
                     self.breakers.record_failure(model, stem)
                 continue
             if n_shape is not None and probs.shape != n_shape:
                 quarantined[stem] = "probs-shape-disagrees"
                 self.store.quarantine[str(path)] = "probs-shape-disagrees"
+                registry.counter("ensemble_member_skips_total", reason="shape-disagrees").inc()
                 if self.breakers is not None:
                     self.breakers.record_failure(model, stem)
                 continue
@@ -163,6 +170,9 @@ class EnsembleRuntime:
             if self.breakers is not None:
                 self.breakers.record_success(model, stem)
         survivors = [s for s in plan if s in loaded]
+        registry.counter(
+            "ensemble_assemble_total", degraded="true" if (missing or quarantined) else "false"
+        ).inc()
         if len(survivors) < self.min_members:
             raise DegradedEnsemble(model, survivors, self.min_members)
         stacked = np.stack([loaded[s] for s in survivors], axis=0)
@@ -202,6 +212,18 @@ class EnsembleRuntime:
         open-breaker cool-downs are counted in trials, not wall-clock.
         """
 
+        registry = get_registry()
+        with get_tracer().span(
+            "ensemble.run_model", model=model, observe=registry.histogram("ensemble_run_seconds")
+        ) as span:
+            result = self._run_model_inner(model, members=members, greedy=greedy)
+            span.set(status=result.status)
+            registry.counter("ensemble_runs_total", status=result.status).inc()
+            return result
+
+    def _run_model_inner(
+        self, model: str, *, members: list[str] | None = None, greedy: str | None = None
+    ) -> EnsembleResult:
         if self.breakers is not None:
             self.breakers.tick()
         plan = members if members is not None else self.member_plan(model, greedy=greedy)

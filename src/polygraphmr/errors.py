@@ -14,6 +14,8 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Callable, Sequence, TypeVar
 
+from .metrics import get_registry
+
 __all__ = [
     "PolygraphError",
     "ArtifactError",
@@ -29,7 +31,20 @@ __all__ = [
 
 
 class PolygraphError(Exception):
-    """Base class for every error raised by polygraphmr."""
+    """Base class for every error raised by polygraphmr.
+
+    Construction increments the error-taxonomy counter
+    ``errors_total{type, reason}`` — every subclass funnels through here, so
+    the counter is the machine-readable failure census the ``reason`` codes
+    were designed for.  Subclasses that carry a ``reason`` set it *before*
+    calling ``super().__init__``, which is what makes the label available.
+    """
+
+    def __init__(self, *args):
+        super().__init__(*args)
+        get_registry().counter(
+            "errors_total", type=type(self).__name__, reason=str(getattr(self, "reason", ""))
+        ).inc()
 
 
 class ArtifactError(PolygraphError):
@@ -155,6 +170,14 @@ class RetryPolicy:
             budget -= delay
         return out
 
+    def sleep_budget_clamped(self) -> bool:
+        """Whether ``max_total_sleep`` truncates this policy's backoff — i.e.
+        the uncapped delays would sleep longer than the budget allows."""
+
+        rng = random.Random(self.seed)
+        uncapped = sum(self.delay_for(a, rng=rng) for a in range(max(0, self.attempts - 1)))
+        return uncapped > self.max_total_sleep
+
 
 def retry_with_backoff(
     fn: Callable[[], T],
@@ -182,7 +205,13 @@ def retry_with_backoff(
             return fn()
         except policy.retry_on as exc:  # noqa: PERF203 - loop is the point
             last = exc
+            get_registry().counter("retry_attempts_total").inc()
             if attempt + 1 < policy.attempts and schedule[attempt] > 0.0:
                 policy.sleep(schedule[attempt])
     assert last is not None
+    # Exhaustion is a countable event, not just a journalled one: the sweep
+    # dashboards need to see retry storms without parsing error strings.
+    get_registry().counter("retry_exhausted_total").inc()
+    if policy.sleep_budget_clamped():
+        get_registry().counter("retry_sleep_budget_exhausted_total").inc()
     raise TransientIOError(path, policy.attempts, last)

@@ -25,6 +25,7 @@ import numpy as np
 
 from .decision import LogisticDecisionModule, ensemble_features, misprediction_targets
 from .ensemble import EnsembleRuntime
+from .metrics import get_registry
 from .store import ArtifactStore
 
 __all__ = [
@@ -254,6 +255,16 @@ def main(argv: list[str] | None = None) -> int:
         help="build a synthetic model under DIR and run against it "
         "(use when the cache has no valid artifacts, e.g. the seed cache)",
     )
+    parser.add_argument(
+        "--metrics-out",
+        default=None,
+        help="write the run's metrics registry (JSON) to this path",
+    )
+    parser.add_argument(
+        "--metrics-prom",
+        default=None,
+        help="write the run's metrics in Prometheus text format to this path",
+    )
     args = parser.parse_args(argv)
 
     if args.synthetic is not None:
@@ -270,6 +281,13 @@ def main(argv: list[str] | None = None) -> int:
             reports.append(measure_degradation(store, model, spec, seed=args.seed))
         except Exception as exc:  # noqa: BLE001 - CLI reports, never crashes the sweep
             reports.append({"model": model, "error": repr(exc)})
+    registry = get_registry()
+    if args.metrics_out:
+        registry.write_json(args.metrics_out)
+    if args.metrics_prom:
+        prom = Path(args.metrics_prom)
+        prom.parent.mkdir(parents=True, exist_ok=True)
+        prom.write_text(registry.to_prometheus(), encoding="utf-8")
     json.dump({"reports": reports}, sys.stdout, indent=2)
     sys.stdout.write("\n")
     usable = [r for r in reports if "error" not in r]

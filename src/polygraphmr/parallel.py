@@ -63,6 +63,17 @@ from .campaign import (
     write_checkpoint,
 )
 from .errors import CampaignError
+from .metrics import (
+    METRICS_NAME,
+    MetricsRegistry,
+    get_registry,
+    load_registry,
+    merge_registries,
+    metrics_shard_name,
+    metrics_shards,
+    set_registry,
+)
+from .tracing import get_tracer
 
 __all__ = ["trial_owner", "worker_assignments", "ParallelCampaignRunner"]
 
@@ -119,6 +130,17 @@ def _worker_main(
     signal.signal(signal.SIGTERM, handle_stop)
     signal.signal(signal.SIGINT, handle_stop)
 
+    # fork duplicated the parent's metric and tracing state into this
+    # process; start fresh so the shard carries only this worker's deltas
+    set_registry(MetricsRegistry())
+    get_tracer().reset()
+
+    def write_metrics_shard() -> None:
+        try:
+            get_registry().write_json(Path(out_dir) / metrics_shard_name(worker_id))
+        except OSError:
+            pass  # metrics are best-effort observability, never worth a worker
+
     try:
         shard = CampaignJournal(Path(out_dir) / shard_name(worker_id))
         shard.repair_tail()
@@ -132,9 +154,11 @@ def _worker_main(
             progress.put((worker_id, index, record["outcome"]))
     except BaseException as exc:  # noqa: BLE001 - worker failure is an outcome
         print(f"worker {worker_id:02d} failed: {exc!r}", file=sys.stderr)
+        write_metrics_shard()
         progress.close()
         progress.join_thread()
         raise SystemExit(1) from exc
+    write_metrics_shard()
     progress.close()
     progress.join_thread()  # flush the queue feeder before exiting
 
@@ -193,6 +217,10 @@ class ParallelCampaignRunner:
         write_checkpoint(self.checkpoint_path, payload)
 
     def run(self, *, resume: bool = False) -> dict:
+        # per-run metrics: see CampaignRunner.run — metrics.json must
+        # describe this run only, not every run this process ever made
+        get_registry().reset()
+        get_tracer().reset()
         state = scan_campaign(self.out_dir, repair=True)
         if resume and (state.canonical_records or state.trials):
             header = validate_resume(state, self.config, read_checkpoint(self.checkpoint_path))
@@ -210,6 +238,10 @@ class ParallelCampaignRunner:
             self.journal.append(header)
             done_trials = {}
             canonical_records = 1
+        # metric shards are per-run scratch; a shard from a dead run would
+        # double-count if folded into this run's totals
+        for stale in metrics_shards(self.out_dir).values():
+            stale.unlink()
 
         n_workers = min(self.workers, max(1, len(self.models)))
         assignments = worker_assignments(
@@ -276,6 +308,19 @@ class ParallelCampaignRunner:
         else:
             self._checkpoint(set(done_trials), canonical_records, state.shard_counts)
 
+        # fold worker metric shards (sorted by worker id) with the parent's
+        # own registry into metrics.json — deterministic and out-of-band,
+        # mirroring the journal-shard merge without touching journal bytes
+        registry = get_registry()
+        registry.gauge("campaign_workers").set(float(n_workers))
+        registry.gauge("campaign_trials_completed").set(float(len(done_trials)))
+        shards = [load_registry(p) for _, p in sorted(metrics_shards(self.out_dir).items())]
+        merged = merge_registries([registry, *[s for s in shards if s is not None]])
+        merged.write_json(self.out_dir / METRICS_NAME)
+        for path in metrics_shards(self.out_dir).values():
+            path.unlink()
+        self.merged_registry = merged
+
         summary = summarize_trials(self.config, done_trials)
         summary.update(
             {
@@ -285,6 +330,7 @@ class ParallelCampaignRunner:
                 "failed_workers": failed_workers,
                 "journal": str(self.journal.path),
                 "checkpoint": str(self.checkpoint_path),
+                "metrics": str(self.out_dir / METRICS_NAME),
             }
         )
         return summary

@@ -18,12 +18,15 @@ quarantined with a structured reason and simply drop out of the usable set.
 from __future__ import annotations
 
 import re
+import time
+from contextlib import contextmanager
 from pathlib import Path
 
 import numpy as np
 
-from .errors import ArtifactCorrupt, ArtifactMissing, IntegrityMismatch, RetryPolicy
+from .errors import ArtifactCorrupt, ArtifactMissing, IntegrityMismatch, RetryPolicy, TransientIOError
 from .integrity import check_probs, check_weights, load_npz_validated, probe_artifact
+from .metrics import get_registry
 from .manifest import (
     CORRUPT,
     MISSING,
@@ -132,55 +135,90 @@ class ArtifactStore:
 
     # -- loading ---------------------------------------------------------
 
+    @contextmanager
+    def _observed_load(self, kind: str):
+        """Meter one ``load_*`` call: result counter + latency histogram.
+
+        The yielded mutable dict lets the body refine the success result
+        (``hit`` vs ``salvaged``); failure results are classified from the
+        exception type.  Strictly out-of-band — observing can never change
+        what the load returns or raises.
+        """
+
+        obs = {"result": "hit"}
+        start = time.perf_counter()
+        try:
+            yield obs
+        except ArtifactMissing:
+            obs["result"] = "missing"
+            raise
+        except TransientIOError:
+            obs["result"] = "io-error"
+            raise
+        except IntegrityMismatch:
+            obs["result"] = "mismatch"
+            raise
+        except ArtifactCorrupt as exc:
+            obs["result"] = "quarantined-hit" if exc.detail == "previously quarantined" else "corrupt"
+            raise
+        finally:
+            registry = get_registry()
+            registry.counter("store_load_total", kind=kind, result=obs["result"]).inc()
+            registry.histogram("store_load_seconds", kind=kind).observe(time.perf_counter() - start)
+
     def load_probs(self, model: str, stem: str, split: str, *, n_classes: int | None = None) -> np.ndarray:
         """Load and validate one probability matrix; raises on any problem."""
 
         path = self.probs_path(model, stem, split)
-        if self.is_quarantined(path):
-            raise ArtifactCorrupt(path, self.quarantine[str(path)], "previously quarantined")
-        try:
-            arrays = load_npz_validated(path, expect_keys=("probs",), policy=self.retry_policy)
-            return check_probs(arrays["probs"], path=path, n_classes=n_classes)
-        except ArtifactCorrupt as exc:
-            report = self._try_salvage(path)
-            if report is not None and "probs" in report.arrays:
-                try:
-                    out = check_probs(report.arrays["probs"], path=path, n_classes=n_classes)
-                except IntegrityMismatch:
-                    pass
-                else:
-                    self.salvaged[str(path)] = report
-                    return out
-            self._quarantine(path, exc.reason)
-            raise
-        except IntegrityMismatch as exc:
-            self._quarantine(path, exc.reason)
-            raise
+        with self._observed_load("probs") as obs:
+            if self.is_quarantined(path):
+                raise ArtifactCorrupt(path, self.quarantine[str(path)], "previously quarantined")
+            try:
+                arrays = load_npz_validated(path, expect_keys=("probs",), policy=self.retry_policy)
+                return check_probs(arrays["probs"], path=path, n_classes=n_classes)
+            except ArtifactCorrupt as exc:
+                report = self._try_salvage(path)
+                if report is not None and "probs" in report.arrays:
+                    try:
+                        out = check_probs(report.arrays["probs"], path=path, n_classes=n_classes)
+                    except IntegrityMismatch:
+                        pass
+                    else:
+                        self.salvaged[str(path)] = report
+                        obs["result"] = "salvaged"
+                        return out
+                self._quarantine(path, exc.reason)
+                raise
+            except IntegrityMismatch as exc:
+                self._quarantine(path, exc.reason)
+                raise
 
     def load_weights(self, model: str, stem: str) -> dict[str, np.ndarray]:
         """Load and validate one weights bundle; raises on any problem."""
 
         path = self.weights_path(model, stem)
-        if self.is_quarantined(path):
-            raise ArtifactCorrupt(path, self.quarantine[str(path)], "previously quarantined")
-        try:
-            arrays = load_npz_validated(path, policy=self.retry_policy)
-            return check_weights(arrays, path=path)
-        except ArtifactCorrupt as exc:
-            report = self._try_salvage(path)
-            if report is not None:
-                try:
-                    out = check_weights(dict(report.arrays), path=path)
-                except IntegrityMismatch:
-                    pass
-                else:
-                    self.salvaged[str(path)] = report
-                    return out
-            self._quarantine(path, exc.reason)
-            raise
-        except IntegrityMismatch as exc:
-            self._quarantine(path, exc.reason)
-            raise
+        with self._observed_load("weights") as obs:
+            if self.is_quarantined(path):
+                raise ArtifactCorrupt(path, self.quarantine[str(path)], "previously quarantined")
+            try:
+                arrays = load_npz_validated(path, policy=self.retry_policy)
+                return check_weights(arrays, path=path)
+            except ArtifactCorrupt as exc:
+                report = self._try_salvage(path)
+                if report is not None:
+                    try:
+                        out = check_weights(dict(report.arrays), path=path)
+                    except IntegrityMismatch:
+                        pass
+                    else:
+                        self.salvaged[str(path)] = report
+                        obs["result"] = "salvaged"
+                        return out
+                self._quarantine(path, exc.reason)
+                raise
+            except IntegrityMismatch as exc:
+                self._quarantine(path, exc.reason)
+                raise
 
     def try_load_probs(
         self, model: str, stem: str, split: str, *, n_classes: int | None = None
@@ -197,18 +235,22 @@ class ArtifactStore:
         """Optional ground-truth labels (``labels.<split>.npz``, key ``labels``)."""
 
         path = self.model_dir(model) / f"labels.{split}.npz"
-        if not path.is_file() or self.is_quarantined(path):
-            return None
-        try:
-            arrays = load_npz_validated(path, expect_keys=("labels",), policy=self.retry_policy)
-        except (ArtifactCorrupt, IntegrityMismatch) as exc:
-            self._quarantine(path, exc.reason)
-            return None
-        labels = np.asarray(arrays["labels"]).reshape(-1)
-        if not np.issubdtype(labels.dtype, np.integer):
-            self._quarantine(path, "labels-bad-dtype")
-            return None
-        return labels.astype(np.int64)
+        with self._observed_load("labels") as obs:
+            if not path.is_file() or self.is_quarantined(path):
+                obs["result"] = "quarantined-hit" if self.is_quarantined(path) else "missing"
+                return None
+            try:
+                arrays = load_npz_validated(path, expect_keys=("labels",), policy=self.retry_policy)
+            except (ArtifactCorrupt, IntegrityMismatch) as exc:
+                self._quarantine(path, exc.reason)
+                obs["result"] = "corrupt" if isinstance(exc, ArtifactCorrupt) else "mismatch"
+                return None
+            labels = np.asarray(arrays["labels"]).reshape(-1)
+            if not np.issubdtype(labels.dtype, np.integer):
+                self._quarantine(path, "labels-bad-dtype")
+                obs["result"] = "mismatch"
+                return None
+            return labels.astype(np.int64)
 
     # -- manifests -------------------------------------------------------
 

@@ -10,7 +10,9 @@ import numpy as np
 import pytest
 
 from polygraphmr.faults import build_synthetic_model
+from polygraphmr.metrics import get_registry
 from polygraphmr.store import ArtifactStore
+from polygraphmr.tracing import get_tracer
 
 try:  # hypothesis is a dev extra; only the property tests need it
     from hypothesis import settings
@@ -23,6 +25,17 @@ except ImportError:
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
 SEED_CACHE = REPO_ROOT / ".repro_cache"
+
+
+@pytest.fixture(autouse=True)
+def _reset_observability():
+    """Metrics/tracing are process-global; isolate every test from the last."""
+
+    get_registry().reset()
+    get_tracer().reset()
+    yield
+    get_registry().reset()
+    get_tracer().reset()
 
 SYNTH_MEMBERS = ("ORG", "pp-Gamma_2", "pp-Hist", "pp-FlipX", "replica-001")
 

@@ -25,6 +25,7 @@ from polygraphmr.campaign import (
 )
 from polygraphmr.errors import CampaignError
 from polygraphmr.faults import corrupt_file_truncate
+from polygraphmr.metrics import METRICS_NAME, load_registry, metrics_shards
 from polygraphmr.parallel import ParallelCampaignRunner, trial_owner, worker_assignments
 
 N_TRIALS = 16
@@ -112,6 +113,36 @@ class TestSerialParallelEquivalence:
         assert (tmp_path / "w4" / JOURNAL_NAME).read_bytes() == (
             tmp_path / "serial" / JOURNAL_NAME
         ).read_bytes()
+
+    def test_metrics_stay_out_of_band_of_the_byte_identity(self, tmp_path, bare_cache):
+        """Metrics collection (always on) must never leak into journal or
+        checkpoint bytes: serial and 4-worker runs stay byte-identical while
+        each also writes a merged ``metrics.json`` and cleans up its metric
+        shards."""
+
+        cache = bare_cache("a", "b", "c", "d")
+        config = _config(cache)
+        CampaignRunner(config, tmp_path / "serial", trial_fn=_fake_trial).run()
+        ParallelCampaignRunner(
+            config, tmp_path / "w4", workers=4, trial_fn=_fake_trial
+        ).run()
+
+        assert (tmp_path / "w4" / JOURNAL_NAME).read_bytes() == (
+            tmp_path / "serial" / JOURNAL_NAME
+        ).read_bytes()
+        assert (tmp_path / "w4" / CHECKPOINT_NAME).read_bytes() == (
+            tmp_path / "serial" / CHECKPOINT_NAME
+        ).read_bytes()
+
+        for out in (tmp_path / "serial", tmp_path / "w4"):
+            merged = load_registry(out / METRICS_NAME)
+            assert merged is not None
+            assert merged.counter_total("campaign_trials_total") == N_TRIALS
+            hist = merged.histogram_for("campaign_trial_seconds")
+            assert hist is not None and hist.count == N_TRIALS
+            assert not metrics_shards(out)  # shards folded then deleted
+        parallel_metrics = load_registry(tmp_path / "w4" / METRICS_NAME)
+        assert parallel_metrics.gauge_value("campaign_workers") == 4.0
 
     def test_more_workers_than_models_is_clamped(self, tmp_path, bare_cache):
         cache = bare_cache("a", "b")

@@ -1,0 +1,162 @@
+"""Soak/stress reconciliation: metric totals must agree exactly with the
+journal.
+
+The journal is the byte-deterministic record of what a campaign did; metrics
+are the out-of-band tally of the same events.  These tests run campaigns
+long enough for breakers to trip, cool down, and re-trip, then cross-check
+every counter against the ground truth derivable from the journal — any
+drift means an instrumentation point is missing or double-counting.
+
+Marked ``slow``: deselected by default (see pyproject addopts), run in CI on
+schedule/manual dispatch via ``pytest -m slow``.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import Counter as Tally
+
+import pytest
+
+from polygraphmr.campaign import (
+    JOURNAL_NAME,
+    OUTCOME_ERROR,
+    OUTCOME_OK,
+    OUTCOME_TIMEOUT,
+    CampaignConfig,
+    CampaignJournal,
+    CampaignRunner,
+)
+from polygraphmr.faults import corrupt_file_truncate
+from polygraphmr.parallel import ParallelCampaignRunner
+
+pytestmark = pytest.mark.slow
+
+N_TRIALS = 64  # 16 trials per model: enough for trip -> cooldown -> probe cycles
+
+
+def _trial_records(out_dir):
+    by_index = CampaignJournal(out_dir / JOURNAL_NAME).trial_records()
+    return [by_index[i] for i in sorted(by_index)]
+
+
+class TestMetricsReconcileWithJournal:
+    @pytest.fixture()
+    def stressed_cache(self, multi_model_cache):
+        """Four valid models with one member of ``net-01`` corrupted on both
+        splits, so its breaker trips and re-trips throughout the campaign."""
+
+        victim_dir = multi_model_cache / "net-01"
+        for split in ("val", "test"):
+            target = victim_dir / f"pp-Gamma_2.{split}.probs.npz"
+            corrupt_file_truncate(target, target, keep_fraction=0.2, seed=5)
+        return multi_model_cache
+
+    def test_parallel_soak_counters_match_journal_exactly(self, stressed_cache, tmp_path):
+        config = CampaignConfig(
+            cache=str(stressed_cache),
+            n_trials=N_TRIALS,
+            seed=7,
+            timeout_s=120.0,
+            failure_threshold=2,
+            cooldown_ticks=1,
+        )
+        out = tmp_path / "out"
+        runner = ParallelCampaignRunner(config, out, workers=4)
+        summary = runner.run()
+        assert summary["completed"] == N_TRIALS
+        assert summary["failed_workers"] == []
+        assert summary["breakers"], "stressor failed to trip any breaker"
+
+        reg = runner.merged_registry
+        records = _trial_records(out)
+        assert len(records) == N_TRIALS
+
+        # 1. outcome tallies: journal vs campaign_trials_total, label by label
+        tally = Tally(r["outcome"] for r in records)
+        assert tally == {OUTCOME_OK: N_TRIALS}  # this workload never errors
+        for outcome, n in tally.items():
+            assert reg.counter_value("campaign_trials_total", outcome=outcome) == n
+        assert reg.counter_total("campaign_trials_total") == N_TRIALS
+        assert reg.histogram_for("campaign_trial_seconds").count == N_TRIALS
+
+        # 2. cheap breaker skips: the final journalled snapshot of each model
+        # carries that board's cumulative n_skipped; the counters must agree
+        final_snap_by_model = {}
+        for r in records:  # records are index-ordered, so last write wins
+            final_snap_by_model[r["spec"]["model"]] = r["breakers"]
+        journalled_skips = sum(
+            b["n_skipped"]
+            for snap in final_snap_by_model.values()
+            for b in snap["breakers"].values()
+        )
+        assert journalled_skips > 0, "breaker never served a cheap skip"
+        assert reg.counter_value("breaker_skips_total") == journalled_skips
+        assert (
+            reg.counter_value("ensemble_member_skips_total", reason="circuit-open")
+            == journalled_skips
+        )
+
+        # 3. assemble accounting: every ok trial assembles val + test, and
+        # only the victim model's assembles are degraded
+        ok_by_model = Tally(r["spec"]["model"] for r in records if r["outcome"] == OUTCOME_OK)
+        assert reg.counter_total("ensemble_assemble_total") == 2 * tally[OUTCOME_OK]
+        assert (
+            reg.counter_value("ensemble_assemble_total", degraded="true")
+            == 2 * ok_by_model["net-01"]
+        )
+
+        # 4. every degraded assemble of the victim drops exactly one member
+        # (the corrupt one), either as a real load-and-quarantine or as a
+        # circuit-open skip
+        drop_reasons = (
+            reg.counter_value("ensemble_member_skips_total", reason="quarantined")
+            + reg.counter_value("ensemble_member_skips_total", reason="circuit-open")
+            + reg.counter_value("ensemble_member_skips_total", reason="missing")
+            + reg.counter_value("ensemble_member_skips_total", reason="shape-disagrees")
+        )
+        assert drop_reasons == 2 * ok_by_model["net-01"]
+
+        # 5. error taxonomy vs store results: every corrupt/quarantined-hit
+        # probs load raised (and therefore counted) an ArtifactCorrupt
+        corrupt_loads = reg.counter_value(
+            "store_load_total", kind="probs", result="corrupt"
+        ) + reg.counter_value("store_load_total", kind="probs", result="quarantined-hit")
+        assert corrupt_loads > 0
+        taxonomy_corrupt = sum(
+            row["value"]
+            for row in reg.to_dict()["counters"]
+            if row["name"] == "errors_total" and row["labels"].get("type") == "ArtifactCorrupt"
+        )
+        assert taxonomy_corrupt == corrupt_loads
+
+        # 6. one decision-module fit per ok trial
+        assert reg.histogram_for("decision_fit_seconds").count == tally[OUTCOME_OK]
+
+    def test_serial_soak_with_timeouts_and_errors_reconciles(self, tmp_path, bare_cache):
+        """A fake workload that hangs and raises on schedule: the watchdog
+        and error counters must match the journal's outcome tallies."""
+
+        cache = bare_cache("a", "b")
+
+        def misbehaves(spec):
+            if spec.index % 10 == 3:
+                time.sleep(30)  # watchdog food
+            if spec.index % 10 == 7:
+                raise RuntimeError("injected")
+            return {"model": spec.model}
+
+        n_trials = 40
+        config = CampaignConfig(cache=str(cache), n_trials=n_trials, seed=3, timeout_s=0.2)
+        runner = CampaignRunner(config, tmp_path / "out", trial_fn=misbehaves)
+        summary = runner.run()
+        assert summary["completed"] == n_trials
+
+        reg = runner.merged_registry
+        tally = Tally(r["outcome"] for r in _trial_records(tmp_path / "out"))
+        assert tally[OUTCOME_TIMEOUT] == 4
+        assert tally[OUTCOME_ERROR] == 4
+        for outcome in (OUTCOME_OK, OUTCOME_ERROR, OUTCOME_TIMEOUT):
+            assert reg.counter_value("campaign_trials_total", outcome=outcome) == tally[outcome]
+        assert reg.counter_value("campaign_watchdog_fired_total") == tally[OUTCOME_TIMEOUT]
+        assert reg.histogram_for("campaign_trial_seconds").count == n_trials
