@@ -2,10 +2,10 @@
 """Seeded campaign benchmark: the first point of the perf trajectory.
 
 Runs the same synthetic-model campaign serially and with ``--workers N``
-sweeps, records wall-clock, trials/sec, speedup, and p50/p95/p99 trial
-latency (read from the campaign's merged metrics histograms — the same
-out-of-band ``metrics.json`` every campaign writes), and emits
-``BENCH_campaign.json``::
+sweeps, records wall-clock, trials/sec, speedup, p50/p95/p99 trial
+latency, and verified-once artifact-cache statistics (hit rate, loads
+avoided, bytes held — all read from the campaign's merged out-of-band
+``metrics.json``), and emits ``BENCH_campaign.json``::
 
     PYTHONPATH=src python scripts/bench_campaign.py --seed 7 --workers 4
 
@@ -19,8 +19,11 @@ thing).
 With ``--baseline BENCH_campaign.json``, trials/sec for each matching
 worker count is gated against the committed baseline: a regression beyond
 ``--max-regression`` (default 30%) fails the run (exit 1) after one
-re-measurement.  CI runs this on every push and uploads the fresh JSON and
-Prometheus dump as artifacts.
+re-measurement.  The largest parallel run's cache hit rate is additionally
+gated against ``--min-cache-hit-rate`` (default 0.90) — with the
+shared-memory plane active, workers should essentially never touch the
+disk after warmup.  CI runs this on every push and uploads the fresh JSON
+and Prometheus dump as artifacts.
 """
 
 from __future__ import annotations
@@ -41,7 +44,7 @@ sys.path.insert(0, str(REPO_ROOT / "src"))
 from polygraphmr.faults import build_synthetic_model  # noqa: E402
 from polygraphmr.metrics import load_registry  # noqa: E402
 
-SCHEMA = "polygraphmr/bench-campaign/v1"
+SCHEMA = "polygraphmr/bench-campaign/v2"
 ENV = {"PYTHONPATH": str(REPO_ROOT / "src")}
 QUANTILES = (("p50", 0.50), ("p95", 0.95), ("p99", 0.99))
 
@@ -104,6 +107,15 @@ def run_one(cache: Path, out: Path, args, workers: int) -> dict:
     if hist is None or hist.count != args.trials:
         raise SystemExit(f"FAIL: workers={workers} trial histogram missing or short: {hist}")
 
+    # verified-once cache statistics (negative hits are hits: a remembered
+    # failure avoids a full failed parse just like a remembered success
+    # avoids a full load)
+    hits = registry.counter_total("artifact_cache_hits_total") + registry.counter_total(
+        "artifact_cache_negative_hits_total"
+    )
+    misses = registry.counter_total("artifact_cache_misses_total")
+    lookups = hits + misses
+
     journal = (out / "journal.jsonl").read_bytes()
     return {
         "workers": workers,
@@ -112,6 +124,14 @@ def run_one(cache: Path, out: Path, args, workers: int) -> dict:
         "trial_latency_s": {name: hist.quantile(q) for name, q in QUANTILES},
         "trial_latency_mean_s": round(hist.sum / hist.count, 6),
         "journal_sha256": hashlib.sha256(journal).hexdigest(),
+        "cache": {
+            "hits": int(hits),
+            "misses": int(misses),
+            "hit_rate": round(hits / lookups, 4) if lookups else 0.0,
+            "loads_avoided": int(hits),
+            "bytes_held": int(registry.gauge_value("artifact_cache_bytes")),
+            "plane_bytes": int(registry.gauge_value("artifact_cache_plane_bytes")),
+        },
     }
 
 
@@ -134,7 +154,8 @@ def run_sweep(tmp: Path, cache: Path, args, label: str) -> list[dict]:
         runs.append(entry)
         print(
             f"[{label}] workers={workers}: {entry['wall_s']:.2f}s "
-            f"({entry['trials_per_s']:.2f} trials/s, {entry['speedup_vs_serial']:.2f}x)"
+            f"({entry['trials_per_s']:.2f} trials/s, {entry['speedup_vs_serial']:.2f}x, "
+            f"cache hit rate {entry['cache']['hit_rate']:.2%})"
         )
     print(f"[{label}] serial: {serial['wall_s']:.2f}s ({serial['trials_per_s']:.2f} trials/s)")
     return runs
@@ -166,6 +187,12 @@ def validate_bench(payload: dict) -> None:
         for name, _ in QUANTILES:
             if not isinstance(latency.get(name), (int, float)):
                 raise ValueError(f"runs[].trial_latency_s.{name} must be a number")
+        cache = run.get("cache")
+        if not isinstance(cache, dict):
+            raise ValueError("runs[].cache must be an object")
+        for key in ("hits", "misses", "hit_rate", "loads_avoided", "bytes_held"):
+            if not isinstance(cache.get(key), (int, float)):
+                raise ValueError(f"runs[].cache.{key} must be a number")
 
 
 def gate_against_baseline(runs: list[dict], baseline: dict, max_regression: float) -> list[str]:
@@ -186,6 +213,23 @@ def gate_against_baseline(runs: list[dict], baseline: dict, max_regression: floa
                 f"max regression {max_regression:.0%})"
             )
     return failures
+
+
+def gate_cache_hit_rate(runs: list[dict], min_rate: float) -> list[str]:
+    """The largest parallel run must keep its cache hit rate above the
+    committed floor — with the shared-memory plane active, workers should
+    essentially never touch the disk after warmup."""
+
+    biggest = max(runs, key=lambda r: r["workers"])
+    if biggest["workers"] < 2:
+        return []
+    rate = biggest.get("cache", {}).get("hit_rate", 0.0)
+    if rate < min_rate:
+        return [
+            f"workers={biggest['workers']}: cache hit rate {rate:.4f} "
+            f"< floor {min_rate:.2f} (plane or cache regressed)"
+        ]
+    return []
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -222,6 +266,13 @@ def main(argv: list[str] | None = None) -> int:
         default=0.30,
         help="max tolerated fractional trials/sec regression vs baseline (default: 0.30)",
     )
+    parser.add_argument(
+        "--min-cache-hit-rate",
+        type=float,
+        default=0.90,
+        help="fail if the largest parallel run's artifact-cache hit rate "
+        "falls below this floor (default: 0.90; <=0 disables)",
+    )
     args = parser.parse_args(argv)
 
     tmp = Path(tempfile.mkdtemp(prefix="polygraphmr-bench-"))
@@ -252,6 +303,9 @@ def main(argv: list[str] | None = None) -> int:
                 by_workers[candidate["workers"]] = candidate
         runs = [by_workers[w] for w in sorted(by_workers)]
         failures = gate_against_baseline(runs, baseline, args.max_regression)
+
+    if args.min_cache_hit_rate > 0:
+        failures += gate_cache_hit_rate(runs, args.min_cache_hit_rate)
 
     payload = {
         "schema": SCHEMA,

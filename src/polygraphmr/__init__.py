@@ -5,7 +5,9 @@ Layers (see ``docs/ARCHITECTURE.md``):
 1. Artifact store — validated, quarantining access to ``.repro_cache``
    (:mod:`polygraphmr.store`, :mod:`polygraphmr.integrity`,
    :mod:`polygraphmr.manifest`, :mod:`polygraphmr.naming`), with opt-in
-   carving of damaged archives (:mod:`polygraphmr.salvage`).
+   carving of damaged archives (:mod:`polygraphmr.salvage`) and a
+   verified-once artifact cache with a zero-copy shared-memory plane for
+   parallel campaigns (:mod:`polygraphmr.cache`).
 2. Ensemble runtime — graceful-degradation assembly + decision module
    (:mod:`polygraphmr.ensemble`, :mod:`polygraphmr.decision`), guarded by
    per-submodel circuit breakers (:mod:`polygraphmr.breaker`).
@@ -17,6 +19,7 @@ Layers (see ``docs/ARCHITECTURE.md``):
 """
 
 from .breaker import BreakerBoard, BreakerPolicy, CircuitBreaker
+from .cache import ArtifactCache, SharedMemoryPlane
 from .decision import DetectionMetrics, LogisticDecisionModule
 from .ensemble import DegradedResult, EnsembleResult, EnsembleRuntime, ModelSkipped
 from .errors import (
@@ -79,6 +82,7 @@ def __getattr__(name: str):
     raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 __all__ = [
+    "ArtifactCache",
     "ArtifactCorrupt",
     "ArtifactError",
     "ArtifactMissing",
@@ -109,6 +113,7 @@ __all__ = [
     "PolygraphError",
     "RetryPolicy",
     "SalvageReport",
+    "SharedMemoryPlane",
     "Span",
     "SpanRecord",
     "Tracer",

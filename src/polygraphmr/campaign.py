@@ -47,6 +47,7 @@ from pathlib import Path
 import numpy as np
 
 from .breaker import BreakerBoard, BreakerPolicy, merge_snapshots, non_closed_in_snapshot
+from .cache import DEFAULT_CACHE_BYTES, ArtifactCache
 from .ensemble import EnsembleRuntime
 from .errors import CampaignError
 from .faults import FaultSpec, build_synthetic_model, measure_degradation
@@ -493,20 +494,44 @@ class TrialExecutor:
     ``trial_fn(spec) -> dict`` is injectable for tests (e.g. to fake a hang
     for the watchdog); the default runs
     :func:`polygraphmr.faults.measure_degradation`.
+
+    The executor owns one :class:`~polygraphmr.cache.ArtifactCache`
+    (``use_cache=False`` disables it) shared by every store generation it
+    builds — including rebuilds after a trial timeout, because cached
+    entries are immutable validated values an abandoned thread cannot
+    corrupt.  A parallel worker passes the parent's published
+    :class:`~polygraphmr.cache.SharedMemoryPlane` as ``plane`` so cache
+    misses resolve zero-copy instead of re-reading the disk.  Cache
+    settings are executor tuning, not campaign identity: they never enter
+    the journalled config.
     """
 
-    def __init__(self, config: CampaignConfig, models: list[str], *, trial_fn=None):
+    def __init__(
+        self,
+        config: CampaignConfig,
+        models: list[str],
+        *,
+        trial_fn=None,
+        cache_bytes: int = DEFAULT_CACHE_BYTES,
+        use_cache: bool = True,
+        plane=None,
+    ):
         self.config = config
         self.models = list(models)
         self._trial_fn = trial_fn or self._run_trial
         self.boards: dict[str, BreakerBoard] = {}
+        self.cache = ArtifactCache(cache_bytes, plane=plane) if use_cache else None
         self._store: ArtifactStore | None = None
         self._runtimes: dict[str, EnsembleRuntime] = {}
 
     @property
     def store(self) -> ArtifactStore:
         if self._store is None:
-            self._store = ArtifactStore(self.config.cache, allow_salvaged=self.config.allow_salvaged)
+            self._store = ArtifactStore(
+                self.config.cache,
+                allow_salvaged=self.config.allow_salvaged,
+                cache=self.cache,
+            )
         return self._store
 
     def board_for(self, model: str) -> BreakerBoard:
@@ -676,6 +701,8 @@ class CampaignRunner:
         *,
         trial_fn=None,
         audit: dict | None = None,
+        cache_bytes: int = DEFAULT_CACHE_BYTES,
+        use_cache: bool = True,
     ):
         self.config = config
         self.out_dir = Path(out_dir)
@@ -685,7 +712,9 @@ class CampaignRunner:
         self.audit = audit
         self._stop = threading.Event()
         self.models = discover_models(config)
-        self.executor = TrialExecutor(config, self.models, trial_fn=trial_fn)
+        self.executor = TrialExecutor(
+            config, self.models, trial_fn=trial_fn, cache_bytes=cache_bytes, use_cache=use_cache
+        )
 
     def request_stop(self) -> None:
         """Finish the in-flight trial, journal it, then exit the loop —
@@ -859,6 +888,19 @@ def main(argv: list[str] | None = None) -> int:
         help="artificial seconds of latency per trial (testing/benchmark aid)",
     )
     parser.add_argument(
+        "--cache-bytes",
+        type=int,
+        default=DEFAULT_CACHE_BYTES,
+        help="byte budget for the verified-once artifact cache per executor "
+        f"(default: {DEFAULT_CACHE_BYTES})",
+    )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="disable the verified-once artifact cache and the parallel "
+        "shared-memory plane (every load re-reads and re-validates)",
+    )
+    parser.add_argument(
         "--metrics-out",
         default=None,
         help="also write the merged campaign metrics (JSON) to this path",
@@ -920,12 +962,15 @@ def main(argv: list[str] | None = None) -> int:
         min_members=args.min_members,
         trial_sleep_s=args.trial_sleep,
     )
+    cache_opts = {"cache_bytes": args.cache_bytes, "use_cache": not args.no_cache}
     if args.workers > 1:
         from .parallel import ParallelCampaignRunner
 
-        runner = ParallelCampaignRunner(config, args.out, workers=args.workers, audit=audit)
+        runner = ParallelCampaignRunner(
+            config, args.out, workers=args.workers, audit=audit, **cache_opts
+        )
     else:
-        runner = CampaignRunner(config, args.out, audit=audit)
+        runner = CampaignRunner(config, args.out, audit=audit, **cache_opts)
 
     def handle_stop(_signum, _frame):
         runner.request_stop()

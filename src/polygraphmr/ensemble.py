@@ -12,6 +12,13 @@ state and must stay within one process: multiprocess campaign workers each
 build their own runtime after ``fork`` via
 :class:`polygraphmr.campaign.TrialExecutor` rather than inherit the
 parent's.
+
+The store the runtime drives may carry a verified-once
+:class:`~polygraphmr.cache.ArtifactCache`: the probability arrays it serves
+are then shared read-only across trials (and, via the shared-memory plane,
+across worker processes).  That is safe here because ``assemble`` copies
+members into its stacked tensor (``np.stack``) and never writes to a loaded
+array in place.
 """
 
 from __future__ import annotations

@@ -23,6 +23,7 @@ from pathlib import Path
 
 import numpy as np
 
+from .cache import DEFAULT_CACHE_BYTES, ArtifactCache
 from .decision import LogisticDecisionModule, ensemble_features, misprediction_targets
 from .ensemble import EnsembleRuntime
 from .metrics import get_registry
@@ -265,13 +266,26 @@ def main(argv: list[str] | None = None) -> int:
         default=None,
         help="write the run's metrics in Prometheus text format to this path",
     )
+    parser.add_argument(
+        "--cache-bytes",
+        type=int,
+        default=DEFAULT_CACHE_BYTES,
+        help="byte budget for the verified-once artifact cache "
+        f"(default: {DEFAULT_CACHE_BYTES})",
+    )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="disable the verified-once artifact cache (every load re-reads and re-validates)",
+    )
     args = parser.parse_args(argv)
 
+    cache = None if args.no_cache else ArtifactCache(args.cache_bytes)
     if args.synthetic is not None:
         build_synthetic_model(args.synthetic, seed=args.seed)
-        store = ArtifactStore(args.synthetic)
+        store = ArtifactStore(args.synthetic, cache=cache)
     else:
-        store = ArtifactStore(args.cache)
+        store = ArtifactStore(args.cache, cache=cache)
 
     spec = FaultSpec(kind=args.kind, rate=args.rate, sigma=args.sigma, seed=args.seed)
     models = [args.model] if args.model else store.models()

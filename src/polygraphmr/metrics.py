@@ -58,7 +58,11 @@ __all__ = [
 EXPORT_VERSION = 1
 
 # Prometheus-style latency buckets (seconds), wide enough for sub-ms npz
-# loads and multi-second sleep-padded benchmark trials alike.
+# loads and multi-second sleep-padded benchmark trials alike.  The
+# 50 ms–1 s band is deliberately dense: benchmark trials land there, and
+# quantiles resolve to the smallest bucket bound >= the true value, so
+# coarse edges would round every sub-second p50/p95/p99 up to the same
+# number (the old 0.25/0.5 gap reported p50 = p95 = p99 = 0.5 s).
 DEFAULT_LATENCY_BUCKETS = (
     0.0005,
     0.001,
@@ -67,9 +71,16 @@ DEFAULT_LATENCY_BUCKETS = (
     0.01,
     0.025,
     0.05,
+    0.075,
     0.1,
+    0.15,
+    0.2,
     0.25,
+    0.3,
+    0.35,
+    0.4,
     0.5,
+    0.75,
     1.0,
     2.5,
     5.0,

@@ -31,7 +31,16 @@ keeps both:
 
 Worker state is never shared across ``fork``: each worker constructs its
 own :class:`~polygraphmr.store.ArtifactStore` and ensemble runtimes after
-the fork, inside its own :class:`TrialExecutor`.
+the fork, inside its own :class:`TrialExecutor`.  The one deliberate
+exception is the read-only **shared-memory plane**
+(:class:`~polygraphmr.cache.SharedMemoryPlane`): before forking, the
+parent loads and validates the campaign's artifact working set once,
+copies it into a shared-memory segment, and unlinks the segment name —
+workers inherit the mapping and serve zero-copy ``writeable=False`` views
+out of it, so store loads are amortized O(1) per trial regardless of
+worker count.  If the plane cannot be published (no shared memory, empty
+working set), workers silently fall back to loading from disk into their
+private caches.
 """
 
 from __future__ import annotations
@@ -43,6 +52,7 @@ import sys
 import threading
 from pathlib import Path
 
+from .cache import DEFAULT_CACHE_BYTES, SharedMemoryPlane
 from .campaign import (
     CHECKPOINT_NAME,
     JOURNAL_NAME,
@@ -63,6 +73,7 @@ from .campaign import (
     write_checkpoint,
 )
 from .errors import CampaignError
+from .store import ArtifactStore
 from .metrics import (
     METRICS_NAME,
     MetricsRegistry,
@@ -111,6 +122,9 @@ def _worker_main(
     done_trials: dict[int, dict],
     trial_fn,
     progress,
+    cache_bytes: int = DEFAULT_CACHE_BYTES,
+    use_cache: bool = True,
+    plane: SharedMemoryPlane | None = None,
 ) -> None:
     """One worker process: drain ``assignment`` through a private
     :class:`TrialExecutor` into a private journal shard.
@@ -118,6 +132,10 @@ def _worker_main(
     SIGTERM/SIGINT set a stop flag checked *between* trials, so the
     in-flight trial always finishes and is journalled before exit — the
     same draining contract as the serial runner.
+
+    ``plane`` is the parent's pre-published shared-memory working set,
+    inherited through ``fork`` (never re-attached by name — the parent
+    unlinked the segment before forking, so the mapping is the only handle).
     """
 
     stop = threading.Event()
@@ -144,7 +162,14 @@ def _worker_main(
     try:
         shard = CampaignJournal(Path(out_dir) / shard_name(worker_id))
         shard.repair_tail()
-        executor = TrialExecutor(config, models, trial_fn=trial_fn)
+        executor = TrialExecutor(
+            config,
+            models,
+            trial_fn=trial_fn,
+            cache_bytes=cache_bytes,
+            use_cache=use_cache,
+            plane=plane,
+        )
         executor.restore_boards(done_trials)
         for index in assignment:
             if stop.is_set():
@@ -181,6 +206,8 @@ class ParallelCampaignRunner:
         workers: int = 2,
         trial_fn=None,
         audit: dict | None = None,
+        cache_bytes: int = DEFAULT_CACHE_BYTES,
+        use_cache: bool = True,
     ):
         if workers < 1:
             raise CampaignError("bad-workers", f"workers must be >= 1, got {workers}")
@@ -190,6 +217,8 @@ class ParallelCampaignRunner:
         self.workers = workers
         self.trial_fn = trial_fn
         self.audit = audit
+        self.cache_bytes = cache_bytes
+        self.use_cache = use_cache
         self.journal = CampaignJournal(self.out_dir / JOURNAL_NAME)
         self.checkpoint_path = self.out_dir / CHECKPOINT_NAME
         self._stop = threading.Event()
@@ -243,6 +272,20 @@ class ParallelCampaignRunner:
         for stale in metrics_shards(self.out_dir).values():
             stale.unlink()
 
+        # Publish the working set once, pre-fork: every artifact is loaded
+        # and validated here exactly one time, then served zero-copy to all
+        # workers.  The throwaway store carries the campaign's salvage
+        # policy and no cache — these loads ARE the verification everyone
+        # else amortizes.  `publish` unlinks the segment before returning,
+        # so no /dev/shm entry can outlive this process, however it dies.
+        plane = None
+        if self.use_cache and self.trial_fn is None and self.models:
+            plane = SharedMemoryPlane.publish(
+                ArtifactStore(self.config.cache, allow_salvaged=self.config.allow_salvaged),
+                self.models,
+                max_bytes=self.cache_bytes,
+            )
+
         n_workers = min(self.workers, max(1, len(self.models)))
         assignments = worker_assignments(
             self.config.n_trials, len(self.models), n_workers, set(done_trials)
@@ -264,6 +307,9 @@ class ParallelCampaignRunner:
                     done_trials,
                     self.trial_fn,
                     progress,
+                    self.cache_bytes,
+                    self.use_cache,
+                    plane,
                 ),
                 name=f"campaign-w{worker_id:02d}",
             )
@@ -291,6 +337,10 @@ class ParallelCampaignRunner:
         for proc in procs.values():
             proc.join()
         progress.close()
+        if plane is not None:
+            # best-effort: the segment name is long unlinked; this just
+            # releases the parent's mapping early instead of at process exit
+            plane.close()
 
         failed_workers = sorted(w for w, p in procs.items() if p.exitcode != 0)
         # the shards are authoritative — a worker may have journalled a trial

@@ -24,6 +24,7 @@ from pathlib import Path
 
 import numpy as np
 
+from .cache import ArtifactCache, NegativeEntry
 from .errors import ArtifactCorrupt, ArtifactMissing, IntegrityMismatch, RetryPolicy, TransientIOError
 from .integrity import check_probs, check_weights, load_npz_validated, probe_artifact
 from .metrics import get_registry
@@ -62,13 +63,30 @@ class ArtifactStore:
     failures (wrong shape, off-simplex rows) are never salvaged — carving can
     rescue bytes, not meaning.
 
+    With a ``cache`` attached (:class:`~polygraphmr.cache.ArtifactCache`),
+    loads memoize their *validated* results keyed by stat signature: a hit
+    skips disk I/O, CRC, and the semantic checks entirely, and a path that
+    already failed validation is negative-cached so repeat encounters cost
+    one ``stat`` instead of a full failed parse.  Caching changes timing
+    only — every verdict a cached store reaches (served array, quarantine
+    reason, salvage) is the one an uncached store would reach on the same
+    bytes.
+
     **Fork-safety.**  The store keeps no open file handles — every load
     reads whole files into memory — but its quarantine/salvage registries
     are mutable per-instance state.  Multiprocess campaign workers must
     therefore build their *own* store after ``fork`` (see
     :class:`polygraphmr.campaign.TrialExecutor`, which constructs the store
     lazily, and :meth:`fresh` for an explicit re-open) rather than share a
-    parent's instance across processes.
+    parent's instance across processes.  The attached ``cache`` is the
+    deliberate exception: an :class:`~polygraphmr.cache.ArtifactCache` and
+    its optional :class:`~polygraphmr.cache.SharedMemoryPlane` hold only
+    immutable validated values keyed by stat signature, so a forked worker
+    keeps the parent's plane (zero-copy read-only views into memory the
+    parent published and unlinked *before* forking) while rebuilding every
+    other piece of store state.  When no plane is available the worker's
+    private cache simply starts cold and fills from disk — slower, never
+    wrong.
     """
 
     def __init__(
@@ -77,20 +95,27 @@ class ArtifactStore:
         *,
         retry_policy: RetryPolicy | None = None,
         allow_salvaged: bool = False,
+        cache: ArtifactCache | None = None,
     ):
         self.root = Path(root)
         self.retry_policy = retry_policy
         self.allow_salvaged = allow_salvaged
+        self.cache = cache
         self.quarantine: dict[str, str] = {}
         self.salvaged: dict[str, SalvageReport] = {}
 
     def fresh(self) -> ArtifactStore:
         """A new store over the same root with the same policy but empty
         quarantine/salvage state — the safe way to hand a store's
-        configuration to a forked worker."""
+        configuration to a forked worker.  The cache is carried over: its
+        entries are immutable validated values, safe to share across store
+        generations."""
 
         return ArtifactStore(
-            self.root, retry_policy=self.retry_policy, allow_salvaged=self.allow_salvaged
+            self.root,
+            retry_policy=self.retry_policy,
+            allow_salvaged=self.allow_salvaged,
+            cache=self.cache,
         )
 
     # -- paths -----------------------------------------------------------
@@ -166,16 +191,59 @@ class ArtifactStore:
             registry.counter("store_load_total", kind=kind, result=obs["result"]).inc()
             registry.histogram("store_load_seconds", kind=kind).observe(time.perf_counter() - start)
 
+    def _raise_negative(self, path: Path, neg: NegativeEntry) -> None:
+        """Surface a negative-cache verdict the way an uncached store would
+        on a repeat encounter: quarantine locally, then raise the remembered
+        failure (one ``stat`` paid, no re-parse)."""
+
+        self._quarantine(path, neg.reason)
+        if neg.exc_type == "IntegrityMismatch":
+            raise IntegrityMismatch(path, neg.reason, neg.detail)
+        raise ArtifactCorrupt(path, neg.reason, "previously quarantined")
+
+    def _cache_negative(self, path: Path, exc: ArtifactCorrupt | IntegrityMismatch) -> None:
+        if self.cache is not None:
+            self.cache.put_negative(
+                path, exc_type=type(exc).__name__, reason=exc.reason, detail=exc.detail
+            )
+
     def load_probs(self, model: str, stem: str, split: str, *, n_classes: int | None = None) -> np.ndarray:
-        """Load and validate one probability matrix; raises on any problem."""
+        """Load and validate one probability matrix; raises on any problem.
+
+        With a cache attached, a verified hit skips disk I/O, CRC, and the
+        simplex checks entirely (load result ``cache-hit``); a negative hit
+        re-raises the remembered failure after a single ``stat``.
+        """
 
         path = self.probs_path(model, stem, split)
         with self._observed_load("probs") as obs:
             if self.is_quarantined(path):
                 raise ArtifactCorrupt(path, self.quarantine[str(path)], "previously quarantined")
+            if self.cache is not None:
+                found = self.cache.lookup(path, "probs")
+                if isinstance(found, NegativeEntry):
+                    self._raise_negative(path, found)
+                if found is not None:
+                    arr = found.value
+                    if n_classes is not None and arr.shape[1] != n_classes:
+                        # stricter caller than the one that validated the
+                        # entry; quarantine here but leave the cache alone —
+                        # the array is still valid for lenient callers
+                        self._quarantine(path, "probs-bad-classes")
+                        raise IntegrityMismatch(
+                            path,
+                            "probs-bad-classes",
+                            f"expected {n_classes} classes, got {arr.shape[1]}",
+                        )
+                    if found.salvage is not None:
+                        self.salvaged[str(path)] = found.salvage
+                        obs["result"] = "cache-salvaged"
+                    else:
+                        obs["result"] = "cache-hit"
+                    return arr
             try:
                 arrays = load_npz_validated(path, expect_keys=("probs",), policy=self.retry_policy)
-                return check_probs(arrays["probs"], path=path, n_classes=n_classes)
+                out = check_probs(arrays["probs"], path=path, n_classes=n_classes)
             except ArtifactCorrupt as exc:
                 report = self._try_salvage(path)
                 if report is not None and "probs" in report.arrays:
@@ -186,12 +254,19 @@ class ArtifactStore:
                     else:
                         self.salvaged[str(path)] = report
                         obs["result"] = "salvaged"
+                        if self.cache is not None:
+                            out = self.cache.put(path, "probs", out, salvage=report)
                         return out
                 self._quarantine(path, exc.reason)
+                self._cache_negative(path, exc)
                 raise
             except IntegrityMismatch as exc:
                 self._quarantine(path, exc.reason)
+                self._cache_negative(path, exc)
                 raise
+            if self.cache is not None:
+                out = self.cache.put(path, "probs", out)
+            return out
 
     def load_weights(self, model: str, stem: str) -> dict[str, np.ndarray]:
         """Load and validate one weights bundle; raises on any problem."""
@@ -200,9 +275,22 @@ class ArtifactStore:
         with self._observed_load("weights") as obs:
             if self.is_quarantined(path):
                 raise ArtifactCorrupt(path, self.quarantine[str(path)], "previously quarantined")
+            if self.cache is not None:
+                found = self.cache.lookup(path, "weights")
+                if isinstance(found, NegativeEntry):
+                    self._raise_negative(path, found)
+                if found is not None:
+                    if found.salvage is not None:
+                        self.salvaged[str(path)] = found.salvage
+                        obs["result"] = "cache-salvaged"
+                    else:
+                        obs["result"] = "cache-hit"
+                    # shallow copy: callers may add/drop keys, the arrays
+                    # themselves stay shared and read-only
+                    return dict(found.value)
             try:
                 arrays = load_npz_validated(path, policy=self.retry_policy)
-                return check_weights(arrays, path=path)
+                out = check_weights(arrays, path=path)
             except ArtifactCorrupt as exc:
                 report = self._try_salvage(path)
                 if report is not None:
@@ -213,12 +301,19 @@ class ArtifactStore:
                     else:
                         self.salvaged[str(path)] = report
                         obs["result"] = "salvaged"
+                        if self.cache is not None:
+                            out = dict(self.cache.put(path, "weights", out, salvage=report))
                         return out
                 self._quarantine(path, exc.reason)
+                self._cache_negative(path, exc)
                 raise
             except IntegrityMismatch as exc:
                 self._quarantine(path, exc.reason)
+                self._cache_negative(path, exc)
                 raise
+            if self.cache is not None:
+                out = dict(self.cache.put(path, "weights", out))
+            return out
 
     def try_load_probs(
         self, model: str, stem: str, split: str, *, n_classes: int | None = None
@@ -239,18 +334,35 @@ class ArtifactStore:
             if not path.is_file() or self.is_quarantined(path):
                 obs["result"] = "quarantined-hit" if self.is_quarantined(path) else "missing"
                 return None
+            if self.cache is not None:
+                found = self.cache.lookup(path, "labels")
+                if isinstance(found, NegativeEntry):
+                    self._quarantine(path, found.reason)
+                    obs["result"] = "corrupt" if found.exc_type == "ArtifactCorrupt" else "mismatch"
+                    return None
+                if found is not None:
+                    obs["result"] = "cache-hit"
+                    return found.value
             try:
                 arrays = load_npz_validated(path, expect_keys=("labels",), policy=self.retry_policy)
             except (ArtifactCorrupt, IntegrityMismatch) as exc:
                 self._quarantine(path, exc.reason)
+                self._cache_negative(path, exc)
                 obs["result"] = "corrupt" if isinstance(exc, ArtifactCorrupt) else "mismatch"
                 return None
             labels = np.asarray(arrays["labels"]).reshape(-1)
             if not np.issubdtype(labels.dtype, np.integer):
                 self._quarantine(path, "labels-bad-dtype")
+                if self.cache is not None:
+                    self.cache.put_negative(
+                        path, exc_type="IntegrityMismatch", reason="labels-bad-dtype"
+                    )
                 obs["result"] = "mismatch"
                 return None
-            return labels.astype(np.int64)
+            out = labels.astype(np.int64)
+            if self.cache is not None:
+                out = self.cache.put(path, "labels", out)
+            return out
 
     # -- manifests -------------------------------------------------------
 
@@ -284,21 +396,49 @@ class ArtifactStore:
             return ArtifactStatus(CORRUPT, self.quarantine[str(path)])
         if not path.is_file():
             return ArtifactStatus(MISSING, "not-found")
+        # Cached verdicts make the per-trial roster scan O(stat): probs use
+        # the full validated array (so the assemble that follows hits too),
+        # weights need only the container-probe marker.  Negative verdicts
+        # become CORRUPT statuses built from the remembered strings — no
+        # exception is constructed, mirroring the probe path below.
+        cache_kind = "probs" if kind == "probs" else "probe"
+        if self.cache is not None:
+            found = self.cache.lookup(path, cache_kind)
+            if isinstance(found, NegativeEntry):
+                self._quarantine(path, found.reason)
+                return ArtifactStatus(CORRUPT, found.reason, found.detail)
+            if found is not None:
+                if found.salvage is not None:
+                    self.salvaged[str(path)] = found.salvage
+                    report = found.salvage
+                    return ArtifactStatus(
+                        SALVAGED, "salvaged", f"{report.n_recovered} member(s) recovered"
+                    )
+                return ArtifactStatus(VALID)
         report = probe_artifact(path)
         if not report.ok:
             status = self._salvage_status(path, kind)
             if status is not None:
                 return status
             self._quarantine(path, report.reason)
+            if self.cache is not None:
+                self.cache.put_negative(
+                    path, exc_type="ArtifactCorrupt", reason=report.reason, detail=report.detail
+                )
             return ArtifactStatus(CORRUPT, report.reason, report.detail)
         # container is sound; run the cheap semantic check for probs
         if kind == "probs":
             try:
                 arrays = load_npz_validated(path, expect_keys=("probs",), policy=self.retry_policy)
-                check_probs(arrays["probs"], path=path)
+                checked = check_probs(arrays["probs"], path=path)
             except (ArtifactCorrupt, IntegrityMismatch) as exc:
                 self._quarantine(path, exc.reason)
+                self._cache_negative(path, exc)
                 return ArtifactStatus(CORRUPT, exc.reason, exc.detail)
+            if self.cache is not None:
+                self.cache.put(path, "probs", checked)
+        elif self.cache is not None:
+            self.cache.put_probe(path)
         return ArtifactStatus(VALID)
 
     def scan_model(self, model: str) -> ModelManifest:

@@ -14,6 +14,7 @@ from pathlib import Path
 
 import pytest
 
+from polygraphmr.cache import PLANE_PREFIX
 from polygraphmr.campaign import (
     CHECKPOINT_NAME,
     JOURNAL_NAME,
@@ -29,6 +30,13 @@ from polygraphmr.metrics import METRICS_NAME, load_registry, metrics_shards
 from polygraphmr.parallel import ParallelCampaignRunner, trial_owner, worker_assignments
 
 N_TRIALS = 16
+
+
+def _shm_entries() -> set[str]:
+    try:
+        return {f for f in os.listdir("/dev/shm") if f.startswith(PLANE_PREFIX)}
+    except FileNotFoundError:  # pragma: no cover - non-Linux fallback
+        return set()
 
 
 def _config(cache, **overrides) -> CampaignConfig:
@@ -167,11 +175,13 @@ class TestStopAndResume:
         config = _config(multi_model_cache, trial_sleep_s=0.1)
         CampaignRunner(config, tmp_path / "serial").run()
 
+        shm_before = _shm_entries()
         runner = ParallelCampaignRunner(config, tmp_path / "par", workers=4)
         threading.Timer(0.3, runner.request_stop).start()
         partial = runner.run()
         assert partial["stopped_early"]
         assert partial["failed_workers"] == []  # SIGTERM drain is a clean exit
+        assert _shm_entries() == shm_before  # no plane segment outlives the run
         assert 0 < partial["completed"] < N_TRIALS
         assert shard_journals(tmp_path / "par")  # shards kept for resume
 
@@ -291,6 +301,7 @@ class TestKillMatrix:
         self, victim, multi_model_cache, tmp_path
     ):
         out = tmp_path / "out"
+        shm_before = _shm_entries()
         proc = subprocess.Popen(
             self._cli(multi_model_cache, out),
             env=self._env(),
@@ -318,6 +329,10 @@ class TestKillMatrix:
             proc.stdout.close()
             proc.stderr.close()
 
+        # the plane segment is unlinked before any fork, so even SIGKILL
+        # mid-campaign cannot strand a /dev/shm entry
+        assert _shm_entries() == shm_before
+
         resume = subprocess.run(
             self._cli(multi_model_cache, out, "--resume"),
             env=self._env(),
@@ -334,3 +349,4 @@ class TestKillMatrix:
         raw = (out / JOURNAL_NAME).read_text().splitlines()
         indices = [json.loads(line)["index"] for line in raw if '"trial"' in line]
         assert indices == sorted(set(indices)), "an index was journalled twice"
+        assert _shm_entries() == shm_before
