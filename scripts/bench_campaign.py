@@ -3,9 +3,11 @@
 
 Runs the same synthetic-model campaign serially and with ``--workers N``
 sweeps, records wall-clock, trials/sec, speedup, p50/p95/p99 trial
-latency, and verified-once artifact-cache statistics (hit rate, loads
+latency, verified-once artifact-cache statistics (hit rate, loads
 avoided, bytes held — all read from the campaign's merged out-of-band
-``metrics.json``), and emits ``BENCH_campaign.json``::
+``metrics.json``), and a journal-chaining micro-benchmark (records/sec
+through the v3 hash-chained append path vs the v2-style seal-only path,
+fsync and all), and emits ``BENCH_campaign.json``::
 
     PYTHONPATH=src python scripts/bench_campaign.py --seed 7 --workers 4
 
@@ -31,6 +33,7 @@ from __future__ import annotations
 import argparse
 import hashlib
 import json
+import os
 import platform
 import subprocess
 import sys
@@ -42,9 +45,15 @@ REPO_ROOT = Path(__file__).resolve().parent.parent
 sys.path.insert(0, str(REPO_ROOT / "src"))
 
 from polygraphmr.faults import build_synthetic_model  # noqa: E402
+from polygraphmr.journal import (  # noqa: E402
+    CampaignJournal,
+    canonical_json,
+    chain_genesis,
+    sha256_hex,
+)
 from polygraphmr.metrics import load_registry  # noqa: E402
 
-SCHEMA = "polygraphmr/bench-campaign/v2"
+SCHEMA = "polygraphmr/bench-campaign/v3"
 ENV = {"PYTHONPATH": str(REPO_ROOT / "src")}
 QUANTILES = (("p50", 0.50), ("p95", 0.95), ("p99", 0.99))
 
@@ -161,6 +170,66 @@ def run_sweep(tmp: Path, cache: Path, args, label: str) -> list[dict]:
     return runs
 
 
+def _overhead_record(index: int) -> dict:
+    """A realistically-sized trial record for the journaling micro-bench."""
+
+    return {
+        "type": "trial",
+        "index": index,
+        "spec": {
+            "index": index,
+            "model": f"bench-{index % 4:02d}",
+            "kind": "bitflip",
+            "rate": 0.01,
+            "sigma": 0.05,
+            "fault_seed": 123456789 + index,
+        },
+        "outcome": "ok",
+        "result": {"clean_acc": 0.91, "faulty_acc": 0.88, "delta": 0.03},
+        "breakers": {"breakers": {f"m{j}": {"state": "closed", "n_skipped": 0} for j in range(5)}},
+    }
+
+
+def bench_journal_overhead(tmp: Path, n_records: int = 1500) -> dict:
+    """Chaining overhead: records/sec through the real v3 append path
+    (seal + link + fsync per record) vs the v2-style path (seal + fsync,
+    no chain).  Both hit the same filesystem so the fsync cost — which
+    dominates — is held constant and the delta isolates the chain."""
+
+    v2_path = tmp / "overhead-v2.jsonl"
+    start = time.monotonic()
+    for i in range(n_records):
+        payload = _overhead_record(i)
+        payload["sha256"] = sha256_hex(canonical_json(payload))
+        # mirror the real append path (open + write + flush + fsync per
+        # record, exactly what the v2 journal did) minus the chain link
+        with open(v2_path, "a", encoding="utf-8") as fh:
+            fh.write(json.dumps(payload, sort_keys=True) + "\n")
+            fh.flush()
+            os.fsync(fh.fileno())
+    v2_s = time.monotonic() - start
+
+    journal = CampaignJournal(tmp / "overhead-v3.jsonl", genesis=chain_genesis("00" * 32))
+    start = time.monotonic()
+    for i in range(n_records):
+        journal.append(_overhead_record(i))
+    v3_s = time.monotonic() - start
+
+    v2_rps = n_records / v2_s
+    v3_rps = n_records / v3_s
+    entry = {
+        "records": n_records,
+        "v2_records_per_s": round(v2_rps, 2),
+        "v3_records_per_s": round(v3_rps, 2),
+        "chain_overhead_frac": round(max(0.0, (v2_rps - v3_rps) / v2_rps), 4),
+    }
+    print(
+        f"[journal] v2 seal-only {v2_rps:.0f} rec/s, v3 chained {v3_rps:.0f} rec/s "
+        f"({entry['chain_overhead_frac']:.2%} overhead)"
+    )
+    return entry
+
+
 def validate_bench(payload: dict) -> None:
     """Schema check for ``BENCH_campaign.json``; raises ValueError."""
 
@@ -193,6 +262,12 @@ def validate_bench(payload: dict) -> None:
         for key in ("hits", "misses", "hit_rate", "loads_avoided", "bytes_held"):
             if not isinstance(cache.get(key), (int, float)):
                 raise ValueError(f"runs[].cache.{key} must be a number")
+    journal = payload.get("journal")
+    if not isinstance(journal, dict):
+        raise ValueError("journal must be an object")
+    for key in ("records", "v2_records_per_s", "v3_records_per_s", "chain_overhead_frac"):
+        if not isinstance(journal.get(key), (int, float)):
+            raise ValueError(f"journal.{key} must be a number")
 
 
 def gate_against_baseline(runs: list[dict], baseline: dict, max_regression: float) -> list[str]:
@@ -281,6 +356,7 @@ def main(argv: list[str] | None = None) -> int:
         build_synthetic_model(cache, f"bench-{i:02d}", n_val=96, n_test=96, seed=args.seed + i)
 
     runs = run_sweep(tmp, cache, args, "sweep")
+    journal_overhead = bench_journal_overhead(tmp)
 
     baseline = None
     if args.baseline:
@@ -316,6 +392,7 @@ def main(argv: list[str] | None = None) -> int:
             "trial_sleep_s": args.trial_sleep,
         },
         "runs": runs,
+        "journal": journal_overhead,
         "host": {
             "python": platform.python_version(),
             "platform": sys.platform,

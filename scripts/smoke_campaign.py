@@ -16,6 +16,12 @@ Three phases, all against the same 4-model synthetic cache::
    journal is byte-identical to the serial reference, every index exactly
    once.
 
+Every phase boundary is additionally audited with ``python -m
+polygraphmr.campaign verify`` — after the serial run, after the shard
+merge, after the SIGTERM kill (shards still present), and after the
+resume — plus one negative check that a single flipped byte makes verify
+fail with exit 3 naming the damaged record.
+
 Exits 0 on success; any deviation is a hard failure.  Run by CI on every
 push.
 """
@@ -83,6 +89,53 @@ def timed_run(cache: Path, out: Path, *, workers: int) -> tuple[float, dict]:
     return elapsed, json.loads(proc.stdout)
 
 
+def verify_dir(out: Path, label: str) -> dict:
+    """Run ``campaign verify --json`` against ``out``; exit-0 is mandatory."""
+
+    proc = subprocess.run(
+        [sys.executable, "-m", "polygraphmr.campaign", "verify", str(out), "--json"],
+        env=ENV,
+        capture_output=True,
+        text=True,
+    )
+    if proc.returncode != 0:
+        raise SystemExit(f"FAIL: verify ({label}) exited {proc.returncode}: {proc.stdout}{proc.stderr}")
+    report = json.loads(proc.stdout)
+    print(
+        f"OK: verify ({label}): {report['records_verified']} record(s), "
+        f"{report['trials']} trial(s) replay-match"
+    )
+    return report
+
+
+def verify_detects_flipped_byte(out: Path) -> None:
+    """Negative control: corrupt one byte in a copy of the campaign and
+    verify must fail with exit 3, naming the damaged record."""
+
+    import shutil
+
+    damaged = out.parent / (out.name + "-damaged")
+    shutil.copytree(out, damaged)
+    raw = bytearray((damaged / "journal.jsonl").read_bytes())
+    raw[len(raw) // 2] ^= 0x01
+    (damaged / "journal.jsonl").write_bytes(bytes(raw))
+    proc = subprocess.run(
+        [sys.executable, "-m", "polygraphmr.campaign", "verify", str(damaged), "--json"],
+        env=ENV,
+        capture_output=True,
+        text=True,
+    )
+    if proc.returncode != 3:
+        raise SystemExit(f"FAIL: verify of damaged journal exited {proc.returncode}, expected 3")
+    report = json.loads(proc.stdout)
+    if not report.get("first_bad") or report["first_bad"].get("line") is None:
+        raise SystemExit(f"FAIL: damaged-journal report names no offending record: {report}")
+    print(
+        f"OK: flipped byte detected (exit 3) at {report['first_bad']['file']} "
+        f"line {report['first_bad']['line']}"
+    )
+
+
 def n_trials_journalled(out: Path) -> int:
     try:
         return len(scan_campaign(out).trials)
@@ -108,6 +161,9 @@ def phase_equivalence_and_speedup(tmp: Path) -> None:
             f"FAIL: outcome counts differ: {serial_summary['outcomes']} != {parallel_summary['outcomes']}"
         )
     print(f"OK: 4-worker journal byte-identical to serial ({len(serial_bytes)} bytes)")
+    verify_dir(serial_out, "serial run")
+    verify_dir(parallel_out, "4-worker merge")
+    verify_detects_flipped_byte(serial_out)
 
     speedup = serial_s / parallel_s if parallel_s > 0 else float("inf")
     print(f"serial {serial_s:.2f}s / parallel {parallel_s:.2f}s -> speedup {speedup:.2f}x")
@@ -147,6 +203,7 @@ def phase_kill_and_resume(tmp: Path) -> None:
     if interrupted >= N_TRIALS:
         print("note: SIGTERM landed after completion was unavoidable; journal already full")
     print(f"killed 4-worker run after {interrupted} journalled trial(s) (exit 3); resuming")
+    verify_dir(out, "post-kill (shards intact)")
 
     resumed = subprocess.run(
         campaign_cmd(cache, out, workers=4, resume=True), env=ENV, capture_output=True, text=True
@@ -160,6 +217,7 @@ def phase_kill_and_resume(tmp: Path) -> None:
     if (out / "journal.jsonl").read_bytes() != reference:
         raise SystemExit("FAIL: resumed parallel journal differs from the serial reference")
     print(f"OK: resume completed all {N_TRIALS} trials; merged journal byte-identical to serial")
+    verify_dir(out, "post-resume merge")
 
 
 def main() -> int:

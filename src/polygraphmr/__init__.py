@@ -59,6 +59,7 @@ _CAMPAIGN_EXPORTS = (
     "CampaignRunner",
     "TrialExecutor",
     "TrialSpec",
+    "verify_campaign",
 )
 _PARALLEL_EXPORTS = ("ParallelCampaignRunner",)
 
@@ -134,5 +135,6 @@ __all__ = [
     "set_registry",
     "set_tracer",
     "stem_to_display",
+    "verify_campaign",
     "__version__",
 ]

@@ -6,13 +6,19 @@ availability bottleneck: a sweep that dies at trial 4 312 of 5 000 must not
 lose everything, and a hung trial must not stall the fleet.  This runner is
 built around three guarantees:
 
-* **Write-ahead journal** — every trial outcome is one append-only JSONL
-  record carrying a SHA-256 checksum over its canonical JSON.  Records are
-  flushed and fsynced per trial, so at most the torn tail of the final line
-  is ever lost to a crash.
+* **Tamper-evident write-ahead journal** — every trial outcome is one
+  append-only JSONL record, sealed with a SHA-256 over its canonical JSON
+  and hash-chained to its predecessor (:mod:`polygraphmr.journal`, format
+  v3).  Records are flushed and fsynced per trial, so at most the torn
+  tail of the final line is ever lost to a crash — and a dropped,
+  reordered, or spliced record anywhere breaks the chain.  ``python -m
+  polygraphmr.campaign verify <dir>`` audits a finished (or interrupted)
+  campaign end to end: chain walk, checkpoint-sealed head, and a replay of
+  every trial spec from the journalled config.
 * **Atomic checkpoints** — a small checksummed ``checkpoint.json`` is
-  replaced atomically after every trial; it cross-checks the journal on
-  resume and catches a journal that lost committed records.
+  replaced atomically after every trial; it seals the journal's current
+  chain head + record count, so on resume a journal that lost or rewrote
+  committed records is refused.
 * **Deterministic trials** — each trial's spec is derived from
   ``(campaign seed, trial index)`` alone, and every trial record is a pure
   function of the trial sub-sequence of its *model* (circuit-breaker boards
@@ -33,15 +39,12 @@ Run ``python -m polygraphmr.campaign --help`` for the CLI.
 from __future__ import annotations
 
 import argparse
-import hashlib
 import json
-import os
-import re
 import signal
 import sys
 import threading
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from pathlib import Path
 
 import numpy as np
@@ -51,6 +54,27 @@ from .cache import DEFAULT_CACHE_BYTES, ArtifactCache
 from .ensemble import EnsembleRuntime
 from .errors import CampaignError
 from .faults import FaultSpec, build_synthetic_model, measure_degradation
+from .journal import (
+    CHECKPOINT_NAME,
+    JOURNAL_NAME,
+    JOURNAL_VERSION,
+    CampaignJournal,
+    CampaignState,
+    ChainIssue,
+    canonical_json,
+    chain_genesis,
+    config_chain_hash,
+    load_checkpoint,
+    merge_journal,
+    read_checkpoint,
+    scan_campaign,
+    seal_record,
+    shard_journals,
+    shard_name,
+    sha256_hex,
+    walk_chain,
+    write_checkpoint,
+)
 from .metrics import (
     METRICS_NAME,
     MetricsRegistry,
@@ -71,6 +95,8 @@ __all__ = [
     "TrialExecutor",
     "CampaignJournal",
     "CampaignState",
+    "ChainIssue",
+    "walk_chain",
     "scan_campaign",
     "shard_name",
     "shard_journals",
@@ -78,40 +104,18 @@ __all__ = [
     "validate_resume",
     "read_checkpoint",
     "write_checkpoint",
+    "checkpoint_payload",
+    "config_from_dict",
+    "config_genesis",
+    "verify_campaign",
+    "verify_main",
     "CampaignRunner",
     "main",
 ]
 
-JOURNAL_NAME = "journal.jsonl"
-CHECKPOINT_NAME = "checkpoint.json"
-JOURNAL_VERSION = 2
-
-_SHARD_RE = re.compile(r"^journal\.w(\d{2,})\.jsonl$")
-
 OUTCOME_OK = "ok"
 OUTCOME_ERROR = "error"
 OUTCOME_TIMEOUT = "trial_timeout"
-
-
-def _canonical(obj: dict) -> str:
-    return json.dumps(obj, sort_keys=True, separators=(",", ":"))
-
-
-def _sha256(text: str) -> str:
-    return hashlib.sha256(text.encode("utf-8")).hexdigest()
-
-
-def _seal(record: dict) -> str:
-    """Serialise ``record`` with an embedded checksum over everything else.
-
-    Sealing is byte-stable: re-sealing a record read back from a journal
-    reproduces the original line exactly (sorted keys, repr-round-tripped
-    floats) — the property the shard merger relies on.
-    """
-
-    payload = dict(record)
-    payload["sha256"] = _sha256(_canonical(record))
-    return json.dumps(payload, sort_keys=True)
 
 
 @dataclass(frozen=True)
@@ -160,6 +164,33 @@ class CampaignConfig:
         return BreakerPolicy(self.failure_threshold, self.cooldown_ticks)
 
 
+def config_from_dict(d: dict) -> CampaignConfig:
+    """Rebuild a :class:`CampaignConfig` from its journalled ``to_dict``
+    form — the auditor's path from a sealed header back to a live config."""
+
+    return CampaignConfig(
+        cache=d["cache"],
+        n_trials=d["n_trials"],
+        seed=d["seed"],
+        kinds=tuple(d["kinds"]),
+        rates=tuple(d["rates"]),
+        sigmas=tuple(d["sigmas"]),
+        models=tuple(d["models"]),
+        timeout_s=d["timeout_s"],
+        allow_salvaged=d["allow_salvaged"],
+        failure_threshold=d["failure_threshold"],
+        cooldown_ticks=d["cooldown_ticks"],
+        min_members=d["min_members"],
+        trial_sleep_s=d["trial_sleep_s"],
+    )
+
+
+def config_genesis(config: CampaignConfig) -> str:
+    """The canonical journal's chain-genesis hash for this campaign."""
+
+    return chain_genesis(config_chain_hash(config.to_dict()))
+
+
 @dataclass(frozen=True)
 class TrialSpec:
     """One trial's full parameterisation — a pure function of (seed, index)."""
@@ -186,7 +217,8 @@ def derive_trial_spec(config: CampaignConfig, models: list[str], index: int) -> 
     """Deterministically derive trial ``index``'s spec.
 
     Seeded with ``[config.seed, index]`` so any trial can be re-derived in
-    isolation — the property that makes resume exact.
+    isolation — the property that makes resume exact (and lets ``verify``
+    replay-check a journal without running a single trial).
     """
 
     if not models:
@@ -211,226 +243,54 @@ def discover_models(config: CampaignConfig) -> list[str]:
     return ArtifactStore(config.cache).models()
 
 
-class CampaignJournal:
-    """Append-only JSONL write-ahead journal with per-record checksums.
-
-    The same class backs the canonical ``journal.jsonl`` and the per-worker
-    shards (``journal.wNN.jsonl``) of a parallel run — one sealed-record
-    format everywhere.
-    """
-
-    def __init__(self, path: str | Path):
-        self.path = Path(path)
-
-    def append(self, record: dict) -> None:
-        """Durably append one record: single write, flush, fsync."""
-
-        self.path.parent.mkdir(parents=True, exist_ok=True)
-        with open(self.path, "a", encoding="utf-8") as fh:
-            fh.write(_seal(record) + "\n")
-            fh.flush()
-            os.fsync(fh.fileno())
-
-    def _read_verified(self) -> tuple[list[dict], int]:
-        """(verified records, byte length of the valid prefix).
-
-        A torn or corrupt *final* line is dropped — that is exactly the
-        crash-mid-append this journal exists to survive.  Damage anywhere
-        earlier means committed history was altered and raises
-        :class:`CampaignError`.
-        """
-
-        if not self.path.is_file():
-            return [], 0
-        records: list[dict] = []
-        raw = self.path.read_bytes()
-        lines = raw.split(b"\n")
-        offset = 0
-        for i, line in enumerate(lines):
-            if i == len(lines) - 1:
-                # ``line`` is whatever follows the last "\n" (b"" when the
-                # file ends cleanly).  The trailing newline is what commits
-                # an append, so even a checksum-valid tail here is a torn
-                # write: drop it — counting it would leave the file without
-                # a terminator and make the *next* append glue onto it.
-                break
-            bad = None
-            payload: dict = {}
-            try:
-                payload = json.loads(line.decode("utf-8"))
-                claimed = payload.pop("sha256", None) if isinstance(payload, dict) else None
-                if not isinstance(payload, dict) or claimed != _sha256(_canonical(payload)):
-                    bad = "journal-bad-checksum"
-            except (json.JSONDecodeError, UnicodeDecodeError):
-                bad = "journal-unparseable-line"
-            if bad is not None:
-                if i >= len(lines) - 2:  # last line, torn (with or without the final \n)
-                    break
-                raise CampaignError(bad, f"{self.path} line {i + 1}")
-            records.append(payload)
-            offset += len(line) + 1
-        return records, offset
-
-    def read(self) -> list[dict]:
-        return self._read_verified()[0]
-
-    def repair_tail(self) -> list[dict]:
-        """Drop any torn final line *from the file itself* so the next append
-        starts on a fresh line; returns the surviving records."""
-
-        records, offset = self._read_verified()
-        if self.path.is_file() and offset < self.path.stat().st_size:
-            with open(self.path, "r+b") as fh:
-                fh.truncate(offset)
-                fh.flush()
-                os.fsync(fh.fileno())
-        return records
-
-    def trial_records(self) -> dict[int, dict]:
-        return {r["index"]: r for r in self.read() if r.get("type") == "trial"}
+# -- resume guards ----------------------------------------------------------
 
 
-# -- shards ----------------------------------------------------------------
-
-
-def shard_name(worker: int) -> str:
-    """Journal shard filename for one worker, e.g. ``journal.w03.jsonl``."""
-
-    return f"journal.w{worker:02d}.jsonl"
-
-
-def shard_journals(out_dir: str | Path) -> dict[int, CampaignJournal]:
-    """Every journal shard in ``out_dir``, keyed by worker id."""
-
-    out: dict[int, CampaignJournal] = {}
-    d = Path(out_dir)
-    if d.is_dir():
-        for p in sorted(d.iterdir()):
-            m = _SHARD_RE.match(p.name)
-            if m:
-                out[int(m.group(1))] = CampaignJournal(p)
-    return out
-
-
-@dataclass
-class CampaignState:
-    """Everything on disk about a campaign: the canonical journal plus any
-    worker shards, deduplicated by trial index (canonical wins)."""
-
-    header: dict | None
-    trials: dict[int, dict]
-    canonical_records: int  # verified record count in journal.jsonl
-    shard_counts: dict[int, int] = field(default_factory=dict)  # worker -> trial records
-
-    def complete(self, n_trials: int) -> bool:
-        return all(i in self.trials for i in range(n_trials))
-
-
-def scan_campaign(out_dir: str | Path, *, repair: bool = False) -> CampaignState:
-    """Read the canonical journal *and* every shard; with ``repair=True``,
-    torn tails are truncated in place (the resume path)."""
-
-    canonical = CampaignJournal(Path(out_dir) / JOURNAL_NAME)
-    records = canonical.repair_tail() if repair else canonical.read()
-    header = records[0] if records and records[0].get("type") == "header" else None
-    trials = {r["index"]: r for r in records if r.get("type") == "trial"}
-    shard_counts: dict[int, int] = {}
-    for worker, shard in shard_journals(out_dir).items():
-        shard_records = shard.repair_tail() if repair else shard.read()
-        shard_trials = [r for r in shard_records if r.get("type") == "trial"]
-        shard_counts[worker] = len(shard_trials)
-        for r in shard_trials:
-            trials.setdefault(r["index"], r)
-    return CampaignState(header, trials, len(records), shard_counts)
-
-
-def merge_journal(out_dir: str | Path, header: dict, trials: dict[int, dict]) -> Path:
-    """Fold shards into the canonical journal, **in index order**.
-
-    The canonical file is atomically *replaced* (tmp + fsync + ``os.replace``)
-    with header + every trial record sorted by index; only then are the
-    shards deleted.  Until the replace lands, the shards remain the write-
-    ahead source of truth, so a crash at any point loses nothing, and
-    re-running the merge is idempotent.  Because sealing is byte-stable and
-    records carry no wall-clock data, the merged file is byte-identical to
-    the journal a serial run writes.
-    """
-
-    out = Path(out_dir)
-    path = out / JOURNAL_NAME
-    tmp = path.with_name(path.name + ".tmp")
-    with open(tmp, "w", encoding="utf-8") as fh:
-        fh.write(_seal(header) + "\n")
-        for index in sorted(trials):
-            fh.write(_seal(trials[index]) + "\n")
-        fh.flush()
-        os.fsync(fh.fileno())
-    os.replace(tmp, path)
-    for shard in shard_journals(out).values():
-        shard.path.unlink(missing_ok=True)
-    return path
-
-
-# -- checkpoints -----------------------------------------------------------
-
-
-def write_checkpoint(path: str | Path, payload: dict) -> None:
-    """Atomically replace the checkpoint: tmp file + fsync + ``os.replace``."""
-
-    p = Path(path)
-    body = dict(payload)
-    body["sha256"] = _sha256(_canonical(payload))
-    tmp = p.with_name(p.name + ".tmp")
-    with open(tmp, "w", encoding="utf-8") as fh:
-        json.dump(body, fh, sort_keys=True, indent=2)
-        fh.flush()
-        os.fsync(fh.fileno())
-    os.replace(tmp, p)
-
-
-def read_checkpoint(path: str | Path) -> dict | None:
-    """The checkpoint payload, or ``None`` when absent or checksum-invalid.
-
-    The journal is the source of truth; an unreadable checkpoint merely
-    forfeits the fast consistency cross-check.
-    """
-
-    p = Path(path)
-    if not p.is_file():
-        return None
-    try:
-        body = json.loads(p.read_text(encoding="utf-8"))
-    except (json.JSONDecodeError, OSError):
-        return None
-    if not isinstance(body, dict):
-        return None
-    claimed = body.pop("sha256", None)
-    if claimed != _sha256(_canonical(body)):
-        return None
-    return body
+def _version_mismatch_detail(found) -> str:
+    if isinstance(found, int) and found < JOURNAL_VERSION:
+        hint = (
+            f"it predates the v{JOURNAL_VERSION} hash chain — finish it with a polygraphmr "
+            f"release that writes v{found} journals, or start a fresh --out directory"
+        )
+    else:
+        hint = (
+            "it was written by a newer polygraphmr than this one — upgrade this checkout, "
+            "or start a fresh --out directory"
+        )
+    return f"journal format v{found}, this runner expects v{JOURNAL_VERSION}; {hint}"
 
 
 def validate_resume(state: CampaignState, config: CampaignConfig, checkpoint: dict | None) -> dict:
     """Shared resume guards for the serial and parallel runners.
 
     Returns the verified header record.  Raises :class:`CampaignError` when
-    the header is absent or written by a different config/format version, or
-    when the checkpoint committed more durable history than the journal (or
-    any shard) still holds.
+    the header is absent or written by a different config/format version,
+    when the journal is not chain-rooted in this campaign's config, when
+    the checkpoint committed more durable history than the journal (or any
+    shard) still holds, or when the checkpoint-sealed chain head disagrees
+    with the chain the journal actually carries — extending tampered
+    evidence is never allowed.
     """
 
     if state.header is None:
         raise CampaignError("journal-no-header", "no verifiable header record; cannot resume")
     if state.header.get("version") != JOURNAL_VERSION:
         raise CampaignError(
-            "journal-version-mismatch",
-            f"journal format v{state.header.get('version')} != v{JOURNAL_VERSION}",
+            "journal-version-mismatch", _version_mismatch_detail(state.header.get("version"))
         )
     if state.header.get("config") != config.to_dict():
         raise CampaignError(
             "config-mismatch",
             "journal was written by a campaign with different settings; "
             "start a fresh --out directory instead",
+        )
+    genesis = config_genesis(config)
+    if state.canonical_chain and state.header.get("prev") != genesis:
+        raise CampaignError(
+            "journal-chain-broken",
+            f"{JOURNAL_NAME} line 1 (header): prev does not match the genesis hash "
+            f"{genesis[:12]}… derived from this campaign's config — the journal is "
+            "not rooted in this campaign",
         )
     if checkpoint is not None:
         if checkpoint.get("journal_records", 0) > state.canonical_records:
@@ -445,6 +305,15 @@ def validate_resume(state: CampaignState, config: CampaignConfig, checkpoint: di
                 f"checkpoint committed {checkpoint['completed']} trial(s) "
                 f"but journal + shards hold {len(state.trials)}",
             )
+        sealed = checkpoint.get("chain_head")
+        n = checkpoint.get("journal_records", 0)
+        if sealed is not None and 0 < n <= len(state.canonical_chain) and state.canonical_chain[n - 1] != sealed:
+            raise CampaignError(
+                "journal-chain-broken",
+                f"checkpoint seals chain head {str(sealed)[:12]}… over {JOURNAL_NAME} "
+                f"record {n} but the journal's chain reads "
+                f"{state.canonical_chain[n - 1][:12]}… there — committed history was altered",
+            )
         for key, mark in checkpoint.get("workers", {}).items():
             have = state.shard_counts.get(int(key), 0)
             if mark.get("journalled", 0) > have:
@@ -453,12 +322,33 @@ def validate_resume(state: CampaignState, config: CampaignConfig, checkpoint: di
                     f"checkpoint committed {mark['journalled']} record(s) for worker {key} "
                     f"but its shard holds {have}",
                 )
+            shard_chain = state.shard_chains.get(int(key), [])
+            shard_head = mark.get("chain_head")
+            shard_n = mark.get("journalled", 0)
+            if (
+                shard_head is not None
+                and 0 < shard_n <= len(shard_chain)
+                and shard_chain[shard_n - 1] != shard_head
+            ):
+                raise CampaignError(
+                    "journal-chain-broken",
+                    f"checkpoint seals chain head {str(shard_head)[:12]}… over "
+                    f"{shard_name(int(key))} record {shard_n} but the shard's chain reads "
+                    f"{shard_chain[shard_n - 1][:12]}… there — committed history was altered",
+                )
     return state.header
 
 
-def checkpoint_payload(config: CampaignConfig, done: dict[int, dict], journal_records: int) -> dict:
+def checkpoint_payload(
+    config: CampaignConfig, done: dict[int, dict], journal_records: int, chain_head: str
+) -> dict:
     """The canonical checkpoint body — identical for serial and (post-merge)
-    parallel runs, so the final checkpoints of both are byte-comparable."""
+    parallel runs, so the final checkpoints of both are byte-comparable.
+
+    ``chain_head`` seals the canonical journal's chain at ``journal_records``
+    records: together they pin the journal's entire committed history, the
+    anchor ``verify`` and ``--resume`` cross-check.
+    """
 
     next_index = next((i for i in range(config.n_trials) if i not in done), config.n_trials)
     return {
@@ -467,6 +357,7 @@ def checkpoint_payload(config: CampaignConfig, done: dict[int, dict], journal_re
         "completed": len(done),
         "next_index": next_index,
         "journal_records": journal_records,
+        "chain_head": chain_head,
     }
 
 
@@ -707,7 +598,7 @@ class CampaignRunner:
         self.config = config
         self.out_dir = Path(out_dir)
         self.out_dir.mkdir(parents=True, exist_ok=True)
-        self.journal = CampaignJournal(self.out_dir / JOURNAL_NAME)
+        self.journal = CampaignJournal(self.out_dir / JOURNAL_NAME, genesis=config_genesis(config))
         self.checkpoint_path = self.out_dir / CHECKPOINT_NAME
         self.audit = audit
         self._stop = threading.Event()
@@ -739,6 +630,8 @@ class CampaignRunner:
             self.journal.append(header)
             return {}, header, 1
         header = validate_resume(state, self.config, read_checkpoint(self.checkpoint_path))
+        if state.canonical_chain:
+            self.journal.prime_head(state.canonical_chain[-1])
         # pin the model roster to what the interrupted run saw, so the
         # index -> model assignment cannot drift if the cache changed
         self.models = list(header.get("models", self.models))
@@ -746,8 +639,11 @@ class CampaignRunner:
         self.executor.restore_boards(state.trials)
         return dict(state.trials), header, state.canonical_records
 
-    def _write_checkpoint(self, done: dict[int, dict], journal_records: int) -> None:
-        write_checkpoint(self.checkpoint_path, checkpoint_payload(self.config, done, journal_records))
+    def _write_checkpoint(self, done: dict[int, dict], journal_records: int, chain_head: str) -> None:
+        write_checkpoint(
+            self.checkpoint_path,
+            checkpoint_payload(self.config, done, journal_records, chain_head),
+        )
 
     # -- metrics (strictly out-of-band) ----------------------------------
 
@@ -821,15 +717,16 @@ class CampaignRunner:
             journal_records += 1
             done[index] = record
             new_trials += 1
-            self._write_checkpoint(done, journal_records)
+            self._write_checkpoint(done, journal_records, self.journal.head)
 
         if not stopped_early and len(done) == self.config.n_trials and shard_journals(self.out_dir):
             # a previous parallel (or mixed) run left shards: fold everything
             # into the canonical journal so the final artefact is identical
             # to a pure serial run's
-            merge_journal(self.out_dir, header, done)
+            _, chain_head = merge_journal(self.out_dir, header, done)
+            self.journal.prime_head(chain_head)
             journal_records = 1 + len(done)
-            self._write_checkpoint(done, journal_records)
+            self._write_checkpoint(done, journal_records, chain_head)
 
         self._finalize_metrics(len(done))
         summary = summarize_trials(self.config, done)
@@ -845,6 +742,292 @@ class CampaignRunner:
         return summary
 
 
+# -- verification (`campaign verify`) ---------------------------------------
+
+VERIFY_OK = 0
+VERIFY_CHAIN_BREAK = 3
+VERIFY_REPLAY_MISMATCH = 4
+
+
+def _strip_links(record: dict) -> dict:
+    """A record's chained identity minus its chain position — what must agree
+    when the same trial appears in the canonical journal and a shard."""
+
+    return {k: v for k, v in record.items() if k not in ("prev", "sha256")}
+
+
+def verify_campaign(out_dir: str | Path) -> dict:
+    """Audit a campaign directory end to end; returns the verification report.
+
+    Four passes, stopping at the exact first offending record:
+
+    1. **Chain walk** — every canonical-journal record's seal and ``prev``
+       link, rooted at the genesis hash derived from the journalled config;
+       then every shard's chain, each rooted at its own shard genesis.
+    2. **Cross-file consistency** — a trial journalled in two files must be
+       identical (minus chain position); duplicate indices within a file are
+       refused.
+    3. **Checkpoint seal** — the checkpoint's ``chain_head`` must be the
+       journal's actual chain hash at the sealed record count, and it can
+       never have committed more history than the files still hold.
+    4. **Replay audit** — every trial's journalled spec must re-derive
+       exactly from the journalled config + model roster, proving the
+       journal replay-matches the campaign it claims to record.
+
+    ``exit_code`` is 0 (ok), 3 (chain break: seal/link/checkpoint damage),
+    or 4 (replay mismatch: the chain is intact but records don't re-derive
+    from the config).  Verified-record and failure tallies flow into the
+    ``journal_records_verified_total`` / ``journal_chain_breaks_total`` /
+    ``journal_replay_mismatches_total`` counters, under a ``journal.verify``
+    tracing span.
+
+    Trust model: the chain makes *silent* history rewrites detectable — any
+    splice forces re-sealing every later record and changes the chain head.
+    An adversary who can rewrite journal, shards, *and* checkpoint together
+    can still forge a self-consistent directory; pinning the reported
+    ``chain_head`` somewhere external (CI log, signed release notes) closes
+    that loop.
+    """
+
+    out = Path(out_dir)
+    registry = get_registry()
+    with get_tracer().span("journal.verify", out_dir=str(out)) as span:
+        report = _verify_campaign(out)
+        registry.counter("journal_records_verified_total").inc(report["records_verified"])
+        if report["status"] == "chain-break":
+            registry.counter("journal_chain_breaks_total").inc()
+        elif report["status"] == "replay-mismatch":
+            registry.counter("journal_replay_mismatches_total").inc()
+        span.set(status=report["status"], records_verified=report["records_verified"])
+    return report
+
+
+def _verify_campaign(out: Path) -> dict:
+    report: dict = {
+        "out_dir": str(out),
+        "ok": False,
+        "status": "chain-break",
+        "exit_code": VERIFY_CHAIN_BREAK,
+        "records_verified": 0,
+        "trials": 0,
+        "complete": False,
+        "chain_head": None,
+        "shards": {},
+        "checkpoint": {"present": False},
+        "first_bad": None,
+    }
+
+    def fail(status: str, code: int, file: str, line: int | None, reason: str, detail: str) -> dict:
+        report["status"] = status
+        report["exit_code"] = code
+        report["first_bad"] = {
+            "file": file,
+            "line": line,
+            "record_index": None if line is None else line - 1,
+            "reason": reason,
+            "detail": detail,
+        }
+        return report
+
+    def chain_fail(file: str, line: int | None, reason: str, detail: str) -> dict:
+        return fail("chain-break", VERIFY_CHAIN_BREAK, file, line, reason, detail)
+
+    def replay_fail(file: str, line: int | None, reason: str, detail: str) -> dict:
+        return fail("replay-mismatch", VERIFY_REPLAY_MISMATCH, file, line, reason, detail)
+
+    journal_path = out / JOURNAL_NAME
+    if not journal_path.is_file():
+        return chain_fail(JOURNAL_NAME, None, "journal-missing", f"no {JOURNAL_NAME} in {out}")
+
+    # 1a. canonical chain: every seal and every internal link, in line order
+    records, chain, issue = walk_chain(journal_path)
+    report["records_verified"] += len(records)
+    if issue is not None:
+        return chain_fail(JOURNAL_NAME, issue.line, issue.reason, issue.detail)
+    if not records or records[0].get("type") != "header":
+        return chain_fail(JOURNAL_NAME, 1, "journal-no-header", "no verifiable header record")
+    header = records[0]
+    found = header.get("version")
+    if found != JOURNAL_VERSION:
+        return chain_fail(JOURNAL_NAME, 1, "journal-version-mismatch", _version_mismatch_detail(found))
+    cfg_dict = header.get("config")
+    if not isinstance(cfg_dict, dict):
+        return chain_fail(JOURNAL_NAME, 1, "journal-bad-header", "header carries no config object")
+    config_sha = config_chain_hash(cfg_dict)
+    genesis = chain_genesis(config_sha)
+    if header.get("prev") != genesis:
+        return chain_fail(
+            JOURNAL_NAME,
+            1,
+            "journal-chain-broken",
+            f"header prev {str(header.get('prev'))[:12]}… is not the genesis hash "
+            f"{genesis[:12]}… derived from the journalled config",
+        )
+    report["chain_head"] = chain[-1]
+
+    # trial provenance: index -> (file, line, record)
+    trials: dict = {}
+    for lineno, r in enumerate(records[1:], start=2):
+        if r.get("type") != "trial":
+            return chain_fail(
+                JOURNAL_NAME,
+                lineno,
+                "journal-unknown-record",
+                f"unexpected record type {r.get('type')!r} after the header",
+            )
+        idx = r.get("index")
+        if idx in trials:
+            return chain_fail(
+                JOURNAL_NAME,
+                lineno,
+                "journal-duplicate-trial",
+                f"trial {idx!r} already journalled at {trials[idx][0]} line {trials[idx][1]}",
+            )
+        trials[idx] = (JOURNAL_NAME, lineno, r)
+
+    # 1b+2. shard chains, each rooted at its own shard genesis
+    shard_chain_by_worker: dict[int, list[str]] = {}
+    for worker, shard in sorted(shard_journals(out).items()):
+        name = shard.path.name
+        s_records, s_chain, s_issue = walk_chain(
+            shard.path, genesis=chain_genesis(config_sha, shard=worker)
+        )
+        report["records_verified"] += len(s_records)
+        if s_issue is not None:
+            return chain_fail(name, s_issue.line, s_issue.reason, s_issue.detail)
+        shard_chain_by_worker[worker] = s_chain
+        report["shards"][f"{worker:02d}"] = {
+            "records": len(s_records),
+            "chain_head": s_chain[-1] if s_chain else None,
+        }
+        for lineno, r in enumerate(s_records, start=1):
+            if r.get("type") != "trial":
+                return chain_fail(
+                    name,
+                    lineno,
+                    "journal-unknown-record",
+                    f"unexpected record type {r.get('type')!r} in a shard",
+                )
+            idx = r.get("index")
+            if idx in trials:
+                ofile, oline, other = trials[idx]
+                if ofile == name or _strip_links(r) != _strip_links(other):
+                    return chain_fail(
+                        name,
+                        lineno,
+                        "journal-record-conflict" if ofile != name else "journal-duplicate-trial",
+                        f"trial {idx!r} disagrees with {ofile} line {oline}"
+                        if ofile != name
+                        else f"trial {idx!r} already journalled at {ofile} line {oline}",
+                    )
+            else:
+                trials[idx] = (name, lineno, r)
+    report["trials"] = len(trials)
+
+    # 3. checkpoint: must seal a head (and counts) the files actually carry
+    cp_payload, cp_problem = load_checkpoint(out / CHECKPOINT_NAME)
+    if cp_problem == "checkpoint-invalid":
+        return chain_fail(
+            CHECKPOINT_NAME, None, "checkpoint-invalid", "checkpoint exists but fails its checksum"
+        )
+    if cp_payload is not None:
+        report["checkpoint"] = {
+            "present": True,
+            "journal_records": cp_payload.get("journal_records"),
+            "chain_head": cp_payload.get("chain_head"),
+        }
+        n = cp_payload.get("journal_records", 0)
+        if isinstance(n, int) and n > len(chain):
+            return chain_fail(
+                JOURNAL_NAME,
+                None,
+                "journal-behind-checkpoint",
+                f"checkpoint committed {n} record(s) but the journal holds {len(chain)}",
+            )
+        sealed = cp_payload.get("chain_head")
+        if sealed is not None and isinstance(n, int) and n > 0 and chain[n - 1] != sealed:
+            return chain_fail(
+                JOURNAL_NAME,
+                n,
+                "journal-chain-broken",
+                f"checkpoint seals chain head {str(sealed)[:12]}… over record {n} "
+                f"but the journal's chain reads {chain[n - 1][:12]}… there",
+            )
+        if cp_payload.get("completed", 0) > len(trials):
+            return chain_fail(
+                JOURNAL_NAME,
+                None,
+                "journal-behind-checkpoint",
+                f"checkpoint committed {cp_payload['completed']} trial(s) "
+                f"but journal + shards hold {len(trials)}",
+            )
+        for key, mark in sorted(cp_payload.get("workers", {}).items()):
+            try:
+                w = int(key)
+            except (TypeError, ValueError):
+                return chain_fail(
+                    CHECKPOINT_NAME, None, "checkpoint-invalid", f"malformed worker key {key!r}"
+                )
+            wchain = shard_chain_by_worker.get(w, [])
+            wn = mark.get("journalled", 0) if isinstance(mark, dict) else 0
+            if isinstance(wn, int) and wn > len(wchain):
+                return chain_fail(
+                    shard_name(w),
+                    None,
+                    "journal-behind-checkpoint",
+                    f"checkpoint committed {wn} record(s) for worker {key} "
+                    f"but its shard holds {len(wchain)}",
+                )
+            whead = mark.get("chain_head") if isinstance(mark, dict) else None
+            if whead is not None and isinstance(wn, int) and wn > 0 and wchain[wn - 1] != whead:
+                return chain_fail(
+                    shard_name(w),
+                    wn,
+                    "journal-chain-broken",
+                    f"checkpoint seals chain head {str(whead)[:12]}… over record {wn} "
+                    f"but the shard's chain reads {wchain[wn - 1][:12]}… there",
+                )
+
+    # 4. replay audit: every trial must re-derive from the journalled config
+    try:
+        config = config_from_dict(cfg_dict)
+    except (KeyError, TypeError) as exc:
+        return chain_fail(JOURNAL_NAME, 1, "journal-bad-header", f"journalled config is malformed: {exc!r}")
+    models = header.get("models")
+    if trials and (not isinstance(models, list) or not models):
+        file, line, _ = min(trials.values(), key=lambda v: (v[0], v[1]))
+        return replay_fail(
+            file, line, "journal-bad-header", "header has no model roster to re-derive trial specs from"
+        )
+    outcomes = {OUTCOME_OK, OUTCOME_ERROR, OUTCOME_TIMEOUT}
+    for idx, (file, line, r) in sorted(trials.items(), key=lambda kv: (kv[1][0], kv[1][1])):
+        if not isinstance(idx, int) or not (0 <= idx < config.n_trials):
+            return replay_fail(
+                file, line, "trial-out-of-range", f"trial index {idx!r} outside [0, {config.n_trials})"
+            )
+        if r.get("outcome") not in outcomes:
+            return replay_fail(file, line, "unknown-outcome", f"outcome {r.get('outcome')!r}")
+        try:
+            expected = derive_trial_spec(config, list(models), idx).to_dict()
+        except Exception as exc:  # noqa: BLE001 - any derivation failure is a finding
+            return replay_fail(
+                file, line, "spec-underivable", f"trial {idx} cannot be re-derived: {exc!r}"
+            )
+        if r.get("spec") != expected:
+            return replay_fail(
+                file,
+                line,
+                "spec-mismatch",
+                f"trial {idx}'s journalled spec does not re-derive from the journalled config",
+            )
+    report["complete"] = all(i in trials for i in range(config.n_trials))
+
+    report["ok"] = True
+    report["status"] = "ok"
+    report["exit_code"] = VERIFY_OK
+    return report
+
+
 # -- CLI -------------------------------------------------------------------
 
 
@@ -855,10 +1038,49 @@ def _csv(cast):
     return parse
 
 
+def verify_main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m polygraphmr.campaign verify",
+        description="Audit a campaign's hash-chained journal: walk every chain, "
+        "cross-check the checkpoint-sealed head, and re-derive every trial spec "
+        "from the journalled config.  Exit 0 = verified, 3 = chain break, "
+        "4 = replay mismatch.",
+    )
+    parser.add_argument("out_dir", help="campaign directory (journal + checkpoint)")
+    parser.add_argument("--json", action="store_true", help="machine-readable report on stdout")
+    args = parser.parse_args(argv)
+    report = verify_campaign(args.out_dir)
+    if args.json:
+        json.dump(report, sys.stdout, indent=2, sort_keys=True)
+        sys.stdout.write("\n")
+    elif report["ok"]:
+        head = report["chain_head"] or ""
+        print(
+            f"ok: {report['records_verified']} record(s) across "
+            f"{1 + len(report['shards'])} file(s) verified, {report['trials']} trial(s) "
+            f"replay-match, chain head {head[:16]}…"
+        )
+    else:
+        bad = report["first_bad"] or {}
+        where = str(bad.get("file", "?"))
+        if bad.get("line") is not None:
+            where += f" line {bad['line']} (record {bad['record_index']})"
+        print(
+            f"FAIL [{report['status']}] {bad.get('reason')} at {where}: {bad.get('detail')}",
+            file=sys.stderr,
+        )
+    return report["exit_code"]
+
+
 def main(argv: list[str] | None = None) -> int:
+    argv = list(sys.argv[1:]) if argv is None else list(argv)
+    if argv[:1] == ["verify"]:
+        return verify_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="python -m polygraphmr.campaign",
         description="Run a crash-safe, resumable fault-injection campaign.",
+        epilog="subcommand: python -m polygraphmr.campaign verify <dir> [--json] — "
+        "audit a campaign's hash-chained journal (exit 0/3/4)",
     )
     parser.add_argument("--cache", default=".repro_cache", help="cache root (default: .repro_cache)")
     parser.add_argument("--out", required=True, help="campaign directory for journal + checkpoint")

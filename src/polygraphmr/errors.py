@@ -116,10 +116,12 @@ class CampaignError(PolygraphError):
     """A fault-injection campaign cannot proceed.  Carries a machine-readable
     ``reason``; codes in use include ``journal-bad-checksum`` /
     ``journal-unparseable-line`` (committed journal history was altered),
-    ``journal-no-header``, ``journal-version-mismatch``, ``config-mismatch``,
-    ``journal-behind-checkpoint`` (a checkpoint committed more records than
-    the journal or a worker shard still holds), ``journal-exists``,
-    ``no-models``, and ``bad-workers``."""
+    ``journal-chain-broken`` (a record's ``prev`` does not link to its
+    predecessor's seal — or the checkpoint-sealed chain head disagrees with
+    the journal), ``journal-no-header``, ``journal-version-mismatch``,
+    ``config-mismatch``, ``journal-behind-checkpoint`` (a checkpoint
+    committed more records than the journal or a worker shard still holds),
+    ``journal-exists``, ``no-models``, and ``bad-workers``."""
 
     def __init__(self, reason: str, detail: str = ""):
         self.reason = reason

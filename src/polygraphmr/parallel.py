@@ -13,16 +13,21 @@ keeps both:
   sub-sequences a serial run would — so every journal record it writes is
   byte-identical to the serial run's.
 * **Per-worker journal shards.**  Each worker appends to its own
-  ``journal.wNN.jsonl`` (same sealed format as the canonical journal) —
-  no cross-process file locking, and each shard inherits the
-  torn-tail-repair guarantees of :class:`~polygraphmr.campaign.CampaignJournal`.
+  ``journal.wNN.jsonl`` (same sealed, hash-chained format as the canonical
+  journal, rooted at a per-shard genesis derived from the campaign config
+  hash + worker id) — no cross-process file locking, and each shard
+  inherits the torn-tail-repair and chain guarantees of
+  :class:`~polygraphmr.campaign.CampaignJournal`.
 * **Atomic completion merge.**  Shards stay the write-ahead source of
   truth until every trial is journalled; only then does
   :func:`~polygraphmr.campaign.merge_journal` atomically rewrite the
-  canonical journal in index order and delete the shards.  A crash at any
-  point — including between the replace and the shard cleanup — loses
-  nothing: resume re-scans canonical + shards and deduplicates by index
-  (duplicate records are byte-identical because trials are deterministic).
+  canonical journal in index order — re-linking the unified hash chain
+  from the campaign's canonical genesis — and delete the shards.  A crash
+  at any point — including between the replace and the shard cleanup —
+  loses nothing: resume re-scans canonical + shards and deduplicates by
+  index (duplicate records are byte-identical because trials are
+  deterministic).  The re-linked journal is byte-identical to a serial
+  run's, chain and all.
 * **SIGTERM draining.**  The parent forwards SIGTERM to every worker;
   each worker finishes its in-flight trial, journals it, and exits
   cleanly.  The parent then checkpoints per-worker high-water marks and
@@ -60,7 +65,10 @@ from .campaign import (
     CampaignConfig,
     CampaignJournal,
     TrialExecutor,
+    chain_genesis,
     checkpoint_payload,
+    config_chain_hash,
+    config_genesis,
     discover_models,
     header_record,
     merge_journal,
@@ -160,7 +168,10 @@ def _worker_main(
             pass  # metrics are best-effort observability, never worth a worker
 
     try:
-        shard = CampaignJournal(Path(out_dir) / shard_name(worker_id))
+        shard = CampaignJournal(
+            Path(out_dir) / shard_name(worker_id),
+            genesis=chain_genesis(config_chain_hash(config.to_dict()), shard=worker_id),
+        )
         shard.repair_tail()
         executor = TrialExecutor(
             config,
@@ -176,7 +187,7 @@ def _worker_main(
                 break
             record = executor.execute(index)
             shard.append(record)
-            progress.put((worker_id, index, record["outcome"]))
+            progress.put((worker_id, index, record["outcome"], shard.head))
     except BaseException as exc:  # noqa: BLE001 - worker failure is an outcome
         print(f"worker {worker_id:02d} failed: {exc!r}", file=sys.stderr)
         write_metrics_shard()
@@ -219,7 +230,7 @@ class ParallelCampaignRunner:
         self.audit = audit
         self.cache_bytes = cache_bytes
         self.use_cache = use_cache
-        self.journal = CampaignJournal(self.out_dir / JOURNAL_NAME)
+        self.journal = CampaignJournal(self.out_dir / JOURNAL_NAME, genesis=config_genesis(config))
         self.checkpoint_path = self.out_dir / CHECKPOINT_NAME
         self._stop = threading.Event()
         self.models = discover_models(config)
@@ -233,15 +244,29 @@ class ParallelCampaignRunner:
 
         self._stop.set()
 
-    def _checkpoint(self, done: set[int], canonical_records: int, marks: dict[int, int]) -> None:
+    def _checkpoint(
+        self,
+        done: set[int],
+        canonical_records: int,
+        canonical_head: str,
+        marks: dict[int, int],
+        heads: dict[int, str],
+    ) -> None:
         next_index = next((i for i in range(self.config.n_trials) if i not in done), self.config.n_trials)
+        workers = {}
+        for w, n in sorted(marks.items()):
+            mark = {"journalled": n}
+            if w in heads:
+                mark["chain_head"] = heads[w]
+            workers[f"{w:02d}"] = mark
         payload = {
             "version": JOURNAL_VERSION,
             "n_trials": self.config.n_trials,
             "completed": len(done),
             "next_index": next_index,
             "journal_records": canonical_records,
-            "workers": {f"{w:02d}": {"journalled": n} for w, n in sorted(marks.items())},
+            "chain_head": canonical_head,
+            "workers": workers,
         }
         write_checkpoint(self.checkpoint_path, payload)
 
@@ -256,6 +281,10 @@ class ParallelCampaignRunner:
             self.models = list(header.get("models", self.models))
             done_trials = dict(state.trials)
             canonical_records = state.canonical_records
+            canonical_head = (
+                state.canonical_chain[-1] if state.canonical_chain else self.journal.genesis
+            )
+            heads = {w: c[-1] for w, c in state.shard_chains.items() if c}
         else:
             if state.canonical_records or state.trials:
                 raise CampaignError(
@@ -267,6 +296,8 @@ class ParallelCampaignRunner:
             self.journal.append(header)
             done_trials = {}
             canonical_records = 1
+            canonical_head = self.journal.head
+            heads = {}
         # metric shards are per-run scratch; a shard from a dead run would
         # double-count if folded into this run's totals
         for stale in metrics_shards(self.out_dir).values():
@@ -325,7 +356,7 @@ class ParallelCampaignRunner:
                     proc.terminate()  # SIGTERM -> worker drains in-flight trial
                 forwarded_stop = True
             try:
-                worker_id, index, _outcome = progress.get(timeout=0.2)
+                worker_id, index, _outcome, shard_head = progress.get(timeout=0.2)
             except queue_mod.Empty:
                 if all(not p.is_alive() for p in procs.values()):
                     break
@@ -333,7 +364,8 @@ class ParallelCampaignRunner:
             done.add(index)
             new_trials += 1
             marks[worker_id] = marks.get(worker_id, 0) + 1
-            self._checkpoint(done, canonical_records, marks)
+            heads[worker_id] = shard_head
+            self._checkpoint(done, canonical_records, canonical_head, marks, heads)
         for proc in procs.values():
             proc.join()
         progress.close()
@@ -349,14 +381,21 @@ class ParallelCampaignRunner:
         done_trials = dict(state.trials)
         complete = state.complete(self.config.n_trials)
         if complete:
-            merge_journal(self.out_dir, header, done_trials)
+            _, chain_head = merge_journal(self.out_dir, header, done_trials)
+            self.journal.prime_head(chain_head)
             canonical_records = 1 + len(done_trials)
             write_checkpoint(
                 self.checkpoint_path,
-                checkpoint_payload(self.config, done_trials, canonical_records),
+                checkpoint_payload(self.config, done_trials, canonical_records, chain_head),
             )
         else:
-            self._checkpoint(set(done_trials), canonical_records, state.shard_counts)
+            self._checkpoint(
+                set(done_trials),
+                canonical_records,
+                canonical_head,
+                state.shard_counts,
+                {w: c[-1] for w, c in state.shard_chains.items() if c},
+            )
 
         # fold worker metric shards (sorted by worker id) with the parent's
         # own registry into metrics.json — deterministic and out-of-band,

@@ -1,0 +1,412 @@
+"""Journal v3 chain format and the `campaign verify` auditor.
+
+Covers the sealing/linking primitives, chain-aware resume refusals,
+actionable version-mismatch errors, and the full verify walk: exit 0 on a
+fresh campaign, exit 3 with the exact first offending record on chain
+damage, exit 4 on a journal whose chain is intact but whose records do not
+re-derive from the journalled config.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+
+import pytest
+
+from polygraphmr.campaign import (
+    CHECKPOINT_NAME,
+    JOURNAL_NAME,
+    JOURNAL_VERSION,
+    CampaignConfig,
+    CampaignRunner,
+    config_genesis,
+    main,
+    read_checkpoint,
+    verify_campaign,
+    write_checkpoint,
+)
+from polygraphmr.errors import CampaignError
+from polygraphmr.journal import (
+    CampaignJournal,
+    chain_genesis,
+    config_chain_hash,
+    load_checkpoint,
+    seal_record,
+    sha256_hex,
+    walk_chain,
+)
+from polygraphmr.metrics import get_registry
+from polygraphmr.parallel import ParallelCampaignRunner
+from polygraphmr.tracing import get_tracer
+
+
+def _fake_trial(spec):
+    return {"model": spec.model, "kind": spec.kind}
+
+
+def _run_campaign(tmp_path, bare_cache, n_trials=3, **kwargs):
+    config = CampaignConfig(cache=str(bare_cache()), n_trials=n_trials, seed=5)
+    runner = CampaignRunner(config, tmp_path / "out", trial_fn=_fake_trial)
+    runner.run(**kwargs)
+    return config, tmp_path / "out"
+
+
+def _reforge(out, mutate):
+    """Tamper with a journal the way a capable adversary would: apply
+    ``mutate`` to the decoded records, re-seal and re-link the whole chain,
+    and re-issue a checksum-valid checkpoint sealing the forged head."""
+
+    path = out / JOURNAL_NAME
+    records, _, issue = walk_chain(path)
+    assert issue is None
+    mutate(records)
+    head = records[0]["prev"]  # keep the original (config-derived) genesis
+    lines = []
+    for record in records:
+        line, head = seal_record(record, head)
+        lines.append(line)
+    path.write_text("".join(line + "\n" for line in lines), encoding="utf-8")
+    checkpoint = read_checkpoint(out / CHECKPOINT_NAME)
+    if checkpoint is not None:
+        checkpoint["chain_head"] = head
+        write_checkpoint(out / CHECKPOINT_NAME, checkpoint)
+
+
+class TestChainPrimitives:
+    def test_sealing_is_byte_stable(self):
+        line, seal = seal_record({"type": "trial", "index": 0}, "aa" * 32)
+        payload = json.loads(line)
+        assert payload["prev"] == "aa" * 32
+        assert payload["sha256"] == seal
+        # re-sealing a read-back record reproduces the line exactly
+        again, seal2 = seal_record(payload, "aa" * 32)
+        assert (again, seal2) == (line, seal)
+
+    def test_genesis_hashes_are_distinct_per_root_and_shard(self):
+        sha = config_chain_hash({"seed": 1})
+        heads = {
+            chain_genesis(),
+            chain_genesis(sha),
+            chain_genesis(sha, shard=0),
+            chain_genesis(sha, shard=1),
+            chain_genesis(config_chain_hash({"seed": 2})),
+        }
+        assert len(heads) == 5
+
+    def test_appends_link_each_record_to_its_predecessor(self, tmp_path):
+        journal = CampaignJournal(tmp_path / "j.jsonl", genesis=chain_genesis("ab" * 32))
+        journal.append({"type": "header"})
+        journal.append({"type": "trial", "index": 0})
+        records, chain, issue = walk_chain(journal.path, genesis=journal.genesis)
+        assert issue is None
+        assert records[0]["prev"] == journal.genesis
+        assert records[1]["prev"] == chain[0]
+        assert journal.head == chain[-1]
+
+    def test_scan_raises_on_broken_link_even_at_the_tail(self, tmp_path):
+        # a well-sealed record with the wrong prev cannot be a torn write
+        journal = CampaignJournal(tmp_path / "j.jsonl")
+        journal.append({"type": "header"})
+        line, _ = seal_record({"type": "trial", "index": 0}, sha256_hex("elsewhere"))
+        with open(journal.path, "a", encoding="utf-8") as fh:
+            fh.write(line + "\n")
+        with pytest.raises(CampaignError) as exc_info:
+            CampaignJournal(journal.path).read()
+        assert exc_info.value.reason == "journal-chain-broken"
+
+    def test_walk_chain_reports_torn_tail(self, tmp_path):
+        journal = CampaignJournal(tmp_path / "j.jsonl")
+        journal.append({"type": "header"})
+        with open(journal.path, "ab") as fh:
+            fh.write(b'{"torn')
+        _, _, issue = walk_chain(journal.path)
+        assert issue is not None
+        assert issue.reason == "journal-torn-tail"
+        assert issue.line == 2
+
+
+class TestVerifyCampaign:
+    def test_fresh_campaign_verifies(self, tmp_path, bare_cache):
+        config, out = _run_campaign(tmp_path, bare_cache)
+        report = verify_campaign(out)
+        assert report["ok"]
+        assert report["exit_code"] == 0
+        assert report["status"] == "ok"
+        assert report["records_verified"] == 4  # header + 3 trials
+        assert report["trials"] == 3
+        assert report["complete"]
+        assert report["first_bad"] is None
+        assert report["checkpoint"]["chain_head"] == report["chain_head"]
+
+    def test_interrupted_campaign_still_verifies(self, tmp_path, bare_cache):
+        _, out = _run_campaign(tmp_path, bare_cache, max_new_trials=2)
+        report = verify_campaign(out)
+        assert report["ok"]
+        assert not report["complete"]
+        assert report["trials"] == 2
+
+    def test_single_flipped_byte_names_the_exact_record(self, tmp_path, bare_cache):
+        _, out = _run_campaign(tmp_path, bare_cache)
+        lines = (out / JOURNAL_NAME).read_bytes().splitlines(keepends=True)
+        flipped = bytearray(lines[2])
+        flipped[flipped.index(b'"outcome"') + 3] ^= 0x01  # inside committed history
+        (out / JOURNAL_NAME).write_bytes(b"".join([lines[0], lines[1], bytes(flipped), *lines[3:]]))
+        report = verify_campaign(out)
+        assert report["exit_code"] == 3
+        assert report["status"] == "chain-break"
+        assert report["first_bad"]["file"] == JOURNAL_NAME
+        assert report["first_bad"]["line"] == 3
+        assert report["first_bad"]["record_index"] == 2
+        assert report["first_bad"]["reason"] == "journal-bad-checksum"
+
+    def test_deleted_record_breaks_the_chain_at_the_gap(self, tmp_path, bare_cache):
+        _, out = _run_campaign(tmp_path, bare_cache)
+        lines = (out / JOURNAL_NAME).read_bytes().splitlines(keepends=True)
+        (out / JOURNAL_NAME).write_bytes(b"".join(lines[:2] + lines[3:]))  # drop trial 1
+        report = verify_campaign(out)
+        assert report["exit_code"] == 3
+        assert report["first_bad"]["reason"] == "journal-chain-broken"
+        assert report["first_bad"]["line"] == 3  # the record after the gap
+
+    def test_trimmed_tail_is_caught_by_the_checkpoint_seal(self, tmp_path, bare_cache):
+        # deleting the *last* record leaves a perfectly chained journal;
+        # only the checkpoint-sealed head + record count expose it
+        _, out = _run_campaign(tmp_path, bare_cache)
+        lines = (out / JOURNAL_NAME).read_bytes().splitlines(keepends=True)
+        (out / JOURNAL_NAME).write_bytes(b"".join(lines[:-1]))
+        report = verify_campaign(out)
+        assert report["exit_code"] == 3
+        assert report["first_bad"]["reason"] == "journal-behind-checkpoint"
+
+    def test_tampered_checkpoint_head_is_a_chain_break(self, tmp_path, bare_cache):
+        _, out = _run_campaign(tmp_path, bare_cache)
+        checkpoint = read_checkpoint(out / CHECKPOINT_NAME)
+        checkpoint["chain_head"] = sha256_hex("forged")
+        write_checkpoint(out / CHECKPOINT_NAME, checkpoint)
+        report = verify_campaign(out)
+        assert report["exit_code"] == 3
+        assert report["first_bad"]["reason"] == "journal-chain-broken"
+        assert report["first_bad"]["line"] == checkpoint["journal_records"]
+
+    def test_corrupt_checkpoint_fails_the_audit(self, tmp_path, bare_cache):
+        _, out = _run_campaign(tmp_path, bare_cache)
+        text = (out / CHECKPOINT_NAME).read_text()
+        (out / CHECKPOINT_NAME).write_text(text.replace('"completed": 3', '"completed": 2'))
+        report = verify_campaign(out)
+        assert report["exit_code"] == 3
+        assert report["first_bad"]["reason"] == "checkpoint-invalid"
+
+    def test_forged_spec_is_a_replay_mismatch(self, tmp_path, bare_cache):
+        # an adversary who re-seals and re-links the whole chain (and
+        # re-issues the checkpoint) beats every hash — but the spec no
+        # longer re-derives from the journalled config
+        _, out = _run_campaign(tmp_path, bare_cache)
+
+        def mutate(records):
+            records[2]["spec"]["fault_seed"] += 1
+
+        _reforge(out, mutate)
+        report = verify_campaign(out)
+        assert report["exit_code"] == 4
+        assert report["status"] == "replay-mismatch"
+        assert report["first_bad"]["reason"] == "spec-mismatch"
+        assert report["first_bad"]["line"] == 3
+        assert "trial 1" in report["first_bad"]["detail"]
+
+    def test_forged_outcome_value_is_a_replay_mismatch(self, tmp_path, bare_cache):
+        _, out = _run_campaign(tmp_path, bare_cache)
+
+        def mutate(records):
+            records[1]["outcome"] = "fabricated"
+
+        _reforge(out, mutate)
+        report = verify_campaign(out)
+        assert report["exit_code"] == 4
+        assert report["first_bad"]["reason"] == "unknown-outcome"
+        assert report["first_bad"]["line"] == 2
+
+    def test_header_not_rooted_in_its_own_config_is_a_chain_break(self, tmp_path, bare_cache):
+        _, out = _run_campaign(tmp_path, bare_cache)
+
+        def mutate(records):
+            records[0]["config"]["seed"] = 99  # genesis no longer matches
+
+        _reforge(out, mutate)
+        report = verify_campaign(out)
+        assert report["exit_code"] == 3
+        assert report["first_bad"]["line"] == 1
+        assert report["first_bad"]["reason"] == "journal-chain-broken"
+        assert "genesis" in report["first_bad"]["detail"]
+
+    def test_missing_journal_is_a_chain_break(self, tmp_path):
+        report = verify_campaign(tmp_path)
+        assert report["exit_code"] == 3
+        assert report["first_bad"]["reason"] == "journal-missing"
+
+    def test_verify_feeds_metrics_and_tracing(self, tmp_path, bare_cache):
+        _, out = _run_campaign(tmp_path, bare_cache)
+        get_registry().reset()
+        get_tracer().reset()
+        verify_campaign(out)
+        registry = get_registry()
+        assert registry.counter_total("journal_records_verified_total") == 4
+        assert registry.counter_total("journal_chain_breaks_total") == 0
+        spans = [s["name"] for s in get_tracer().to_dicts()]
+        assert "journal.verify" in spans
+
+        raw = bytearray((out / JOURNAL_NAME).read_bytes())
+        raw[10] ^= 0xFF
+        (out / JOURNAL_NAME).write_bytes(bytes(raw))
+        verify_campaign(out)
+        assert registry.counter_total("journal_chain_breaks_total") == 1
+
+
+class TestResumeRefusals:
+    def test_resume_refuses_a_broken_chain(self, tmp_path, bare_cache):
+        cache = bare_cache()
+        config = CampaignConfig(cache=str(cache), n_trials=4, seed=5)
+        CampaignRunner(config, tmp_path / "out", trial_fn=_fake_trial).run(max_new_trials=3)
+        lines = (tmp_path / "out" / JOURNAL_NAME).read_bytes().splitlines(keepends=True)
+        (tmp_path / "out" / JOURNAL_NAME).write_bytes(b"".join(lines[:2] + lines[3:]))
+        with pytest.raises(CampaignError) as exc_info:
+            CampaignRunner(config, tmp_path / "out", trial_fn=_fake_trial).run(resume=True)
+        assert exc_info.value.reason == "journal-chain-broken"
+        assert "line 3" in str(exc_info.value)  # names the bad record
+
+    def test_resume_refuses_a_tampered_checkpoint_head(self, tmp_path, bare_cache):
+        cache = bare_cache()
+        config = CampaignConfig(cache=str(cache), n_trials=4, seed=5)
+        CampaignRunner(config, tmp_path / "out", trial_fn=_fake_trial).run(max_new_trials=2)
+        checkpoint = read_checkpoint(tmp_path / "out" / CHECKPOINT_NAME)
+        checkpoint["chain_head"] = sha256_hex("forged")
+        write_checkpoint(tmp_path / "out" / CHECKPOINT_NAME, checkpoint)
+        with pytest.raises(CampaignError) as exc_info:
+            CampaignRunner(config, tmp_path / "out", trial_fn=_fake_trial).run(resume=True)
+        assert exc_info.value.reason == "journal-chain-broken"
+
+    def test_resume_refuses_a_journal_rooted_elsewhere(self, tmp_path, bare_cache):
+        cache = bare_cache()
+        config = CampaignConfig(cache=str(cache), n_trials=2, seed=5)
+        out = tmp_path / "out"
+        # a chained journal claiming this config but rooted at a foreign genesis
+        journal = CampaignJournal(out / JOURNAL_NAME, genesis=chain_genesis("ff" * 16))
+        journal.append(
+            {"type": "header", "version": JOURNAL_VERSION, "config": config.to_dict(), "models": ["m"]}
+        )
+        with pytest.raises(CampaignError) as exc_info:
+            CampaignRunner(config, out, trial_fn=_fake_trial).run(resume=True)
+        assert exc_info.value.reason == "journal-chain-broken"
+        assert "not rooted" in str(exc_info.value)
+
+
+class TestVersionMismatch:
+    def _journal_with_version(self, tmp_path, config, version):
+        out = tmp_path / "out"
+        journal = CampaignJournal(out / JOURNAL_NAME, genesis=config_genesis(config))
+        journal.append(
+            {"type": "header", "version": version, "config": config.to_dict(), "models": ["m"]}
+        )
+        return out
+
+    def test_v2_journal_under_v3_runner_is_actionable(self, tmp_path, bare_cache):
+        config = CampaignConfig(cache=str(bare_cache()), n_trials=2)
+        out = self._journal_with_version(tmp_path, config, 2)
+        with pytest.raises(CampaignError) as exc_info:
+            CampaignRunner(config, out, trial_fn=_fake_trial).run(resume=True)
+        assert exc_info.value.reason == "journal-version-mismatch"
+        message = str(exc_info.value)
+        assert "journal format v2" in message
+        assert f"expects v{JOURNAL_VERSION}" in message
+        assert "predates" in message and "fresh --out" in message
+
+    def test_newer_journal_under_v3_runner_is_actionable(self, tmp_path, bare_cache):
+        config = CampaignConfig(cache=str(bare_cache()), n_trials=2)
+        out = self._journal_with_version(tmp_path, config, JOURNAL_VERSION + 1)
+        with pytest.raises(CampaignError) as exc_info:
+            CampaignRunner(config, out, trial_fn=_fake_trial).run(resume=True)
+        assert exc_info.value.reason == "journal-version-mismatch"
+        message = str(exc_info.value)
+        assert f"journal format v{JOURNAL_VERSION + 1}" in message
+        assert "newer" in message and "upgrade" in message
+
+    def test_verify_reports_version_mismatch(self, tmp_path, bare_cache):
+        config = CampaignConfig(cache=str(bare_cache()), n_trials=2)
+        out = self._journal_with_version(tmp_path, config, 2)
+        report = verify_campaign(out)
+        assert report["exit_code"] == 3
+        assert report["first_bad"]["reason"] == "journal-version-mismatch"
+        assert "predates" in report["first_bad"]["detail"]
+
+
+class TestVerifyShards:
+    def _interrupted_parallel_run(self, tmp_path, bare_cache):
+        def slow_trial(spec):
+            time.sleep(0.15)
+            return _fake_trial(spec)
+
+        cache = bare_cache("m0", "m1")
+        config = CampaignConfig(cache=str(cache), n_trials=12, seed=5)
+        runner = ParallelCampaignRunner(config, tmp_path / "out", workers=2, trial_fn=slow_trial)
+        threading.Timer(0.2, runner.request_stop).start()
+        summary = runner.run()
+        assert summary["stopped_early"]
+        return tmp_path / "out"
+
+    def test_interrupted_parallel_campaign_verifies_with_shards(self, tmp_path, bare_cache):
+        out = self._interrupted_parallel_run(tmp_path, bare_cache)
+        report = verify_campaign(out)
+        assert report["ok"], report["first_bad"]
+        assert report["shards"]
+        checkpoint = read_checkpoint(out / CHECKPOINT_NAME)
+        for key, mark in checkpoint["workers"].items():
+            assert mark["chain_head"] == report["shards"][key]["chain_head"]
+
+    def test_damaged_shard_fails_verification(self, tmp_path, bare_cache):
+        out = self._interrupted_parallel_run(tmp_path, bare_cache)
+        shard = next(p for p in out.iterdir() if ".w" in p.name)
+        lines = shard.read_bytes().splitlines(keepends=True)
+        assert lines, "expected at least one shard record"
+        flipped = bytearray(lines[0])
+        flipped[flipped.index(b'"spec"') + 2] ^= 0x01
+        shard.write_bytes(b"".join([bytes(flipped), *lines[1:]]))
+        report = verify_campaign(out)
+        assert report["exit_code"] == 3
+        assert report["first_bad"]["file"] == shard.name
+
+
+class TestVerifyCLI:
+    def test_verify_subcommand_ok_and_failure(self, tmp_path, capsys):
+        out = tmp_path / "out"
+        assert main(["--synthetic", str(tmp_path / "cache"), "--out", str(out), "--trials", "2"]) == 0
+        capsys.readouterr()
+
+        assert main(["verify", str(out)]) == 0
+        assert capsys.readouterr().out.startswith("ok:")
+
+        assert main(["verify", str(out), "--json"]) == 0
+        report = json.loads(capsys.readouterr().out)
+        assert report["ok"] and report["trials"] == 2
+
+        raw = bytearray((out / JOURNAL_NAME).read_bytes())
+        raw[20] ^= 0xFF
+        (out / JOURNAL_NAME).write_bytes(bytes(raw))
+        assert main(["verify", str(out)]) == 3
+        err = capsys.readouterr().err
+        assert "FAIL" in err and JOURNAL_NAME in err
+
+        assert main(["verify", str(out), "--json"]) == 3
+        report = json.loads(capsys.readouterr().out)
+        assert report["first_bad"]["line"] == 1
+
+
+class TestCheckpointLoading:
+    def test_load_checkpoint_distinguishes_absent_from_invalid(self, tmp_path):
+        assert load_checkpoint(tmp_path / "absent.json") == (None, "absent")
+        p = tmp_path / CHECKPOINT_NAME
+        write_checkpoint(p, {"completed": 1})
+        payload, problem = load_checkpoint(p)
+        assert problem is None and payload == {"completed": 1}
+        p.write_text(p.read_text().replace("1", "2"))
+        assert load_checkpoint(p) == (None, "checkpoint-invalid")

@@ -23,6 +23,7 @@ from polygraphmr.campaign import (
     CampaignRunner,
     shard_journals,
     shard_name,
+    verify_campaign,
 )
 from polygraphmr.errors import CampaignError
 from polygraphmr.faults import corrupt_file_truncate
@@ -101,6 +102,12 @@ class TestSerialParallelEquivalence:
         assert four["failed_workers"] == []
         # shards were folded into the canonical journal and removed
         assert not shard_journals(tmp_path / "w4")
+        # the acceptance criterion: the 4-worker merged journal verifies —
+        # the re-linked chain, checkpoint-sealed head, and replay all hold
+        for out in ("serial", "w1", "w4"):
+            audit = verify_campaign(tmp_path / out)
+            assert audit["ok"], (out, audit["first_bad"])
+            assert audit["complete"] and audit["trials"] == N_TRIALS
 
     def test_equivalence_survives_tripping_breakers(self, multi_model_cache, tmp_path):
         """Corrupt one member of one model so its circuit breaker trips
@@ -196,6 +203,7 @@ class TestStopAndResume:
         assert (tmp_path / "par" / CHECKPOINT_NAME).read_bytes() == (
             tmp_path / "serial" / CHECKPOINT_NAME
         ).read_bytes()
+        assert verify_campaign(tmp_path / "par")["ok"]
 
     def test_serial_runner_resumes_and_merges_a_parallel_run(self, multi_model_cache, tmp_path):
         config = _config(multi_model_cache, trial_sleep_s=0.1)

@@ -26,6 +26,7 @@ from polygraphmr.campaign import (
     CampaignConfig,
     CampaignJournal,
     CampaignRunner,
+    verify_campaign,
 )
 from polygraphmr.faults import corrupt_file_truncate
 from polygraphmr.parallel import ParallelCampaignRunner
@@ -71,6 +72,13 @@ class TestMetricsReconcileWithJournal:
         reg = runner.merged_registry
         records = _trial_records(out)
         assert len(records) == N_TRIALS
+
+        # 0. the merged evidence trail must audit clean end to end: chain
+        # walk, checkpoint-sealed head, and a full replay of every spec
+        audit = verify_campaign(out)
+        assert audit["ok"], audit["first_bad"]
+        assert audit["complete"] and audit["trials"] == N_TRIALS
+        assert not audit["shards"]  # merge consumed every worker shard
 
         # 1. outcome tallies: journal vs campaign_trials_total, label by label
         tally = Tally(r["outcome"] for r in records)
@@ -151,6 +159,10 @@ class TestMetricsReconcileWithJournal:
         runner = CampaignRunner(config, tmp_path / "out", trial_fn=misbehaves)
         summary = runner.run()
         assert summary["completed"] == n_trials
+
+        audit = verify_campaign(tmp_path / "out")
+        assert audit["ok"], audit["first_bad"]
+        assert audit["trials"] == n_trials
 
         reg = runner.merged_registry
         tally = Tally(r["outcome"] for r in _trial_records(tmp_path / "out"))
