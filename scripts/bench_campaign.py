@@ -5,9 +5,11 @@ Runs the same synthetic-model campaign serially and with ``--workers N``
 sweeps, records wall-clock, trials/sec, speedup, p50/p95/p99 trial
 latency, verified-once artifact-cache statistics (hit rate, loads
 avoided, bytes held — all read from the campaign's merged out-of-band
-``metrics.json``), and a journal-chaining micro-benchmark (records/sec
+``metrics.json``), a journal-chaining micro-benchmark (records/sec
 through the v3 hash-chained append path vs the v2-style seal-only path,
-fsync and all), and emits ``BENCH_campaign.json``::
+fsync and all), and a declarative scenario-sweep timing row (serial vs the
+largest worker count over three built-in scenarios, byte-identity checked),
+and emits ``BENCH_campaign.json``::
 
     PYTHONPATH=src python scripts/bench_campaign.py --seed 7 --workers 4
 
@@ -53,9 +55,10 @@ from polygraphmr.journal import (  # noqa: E402
 )
 from polygraphmr.metrics import load_registry  # noqa: E402
 
-SCHEMA = "polygraphmr/bench-campaign/v3"
+SCHEMA = "polygraphmr/bench-campaign/v4"
 ENV = {"PYTHONPATH": str(REPO_ROOT / "src")}
 QUANTILES = (("p50", 0.50), ("p95", 0.95), ("p99", 0.99))
+BENCH_SCENARIOS = ("channel-bitflip-10pct", "quantize-4bit", "stuck-at-zero-1pct")
 
 
 def parse_workers(text: str) -> tuple[int, ...]:
@@ -65,8 +68,10 @@ def parse_workers(text: str) -> tuple[int, ...]:
     return out
 
 
-def campaign_cmd(cache: Path, out: Path, metrics_json: Path, args, workers: int) -> list[str]:
-    return [
+def campaign_cmd(
+    cache: Path, out: Path, metrics_json: Path, args, workers: int, scenarios: tuple[str, ...] = ()
+) -> list[str]:
+    cmd = [
         sys.executable,
         "-m",
         "polygraphmr.campaign",
@@ -87,15 +92,18 @@ def campaign_cmd(cache: Path, out: Path, metrics_json: Path, args, workers: int)
         "--metrics-out",
         str(metrics_json),
     ]
+    if scenarios:
+        cmd += ["--scenarios", ",".join(scenarios)]
+    return cmd
 
 
-def run_one(cache: Path, out: Path, args, workers: int) -> dict:
+def run_one(cache: Path, out: Path, args, workers: int, scenarios: tuple[str, ...] = ()) -> dict:
     """One timed campaign run -> a bench ``runs[]`` entry (sans speedup)."""
 
     metrics_json = out.with_suffix(".metrics.json")
     start = time.monotonic()
     proc = subprocess.run(
-        campaign_cmd(cache, out, metrics_json, args, workers),
+        campaign_cmd(cache, out, metrics_json, args, workers, scenarios),
         env=ENV,
         capture_output=True,
         text=True,
@@ -168,6 +176,31 @@ def run_sweep(tmp: Path, cache: Path, args, label: str) -> list[dict]:
         )
     print(f"[{label}] serial: {serial['wall_s']:.2f}s ({serial['trials_per_s']:.2f} trials/s)")
     return runs
+
+
+def bench_scenario_sweep(tmp: Path, cache: Path, args) -> dict:
+    """Timing row for a declarative 3-scenario sweep: serial vs the largest
+    worker count, with the same byte-identity cross-check as the main
+    sweep — scenario resolution, hash pinning, and per-trial scenario
+    dispatch all ride the measured path."""
+
+    sweep_dir = tmp / "scenario"
+    serial = run_one(cache, sweep_dir / "serial", args, workers=1, scenarios=BENCH_SCENARIOS)
+    serial["speedup_vs_serial"] = 1.0
+    biggest = max(args.workers)
+    entry = run_one(cache, sweep_dir / f"w{biggest}", args, workers=biggest, scenarios=BENCH_SCENARIOS)
+    if entry["journal_sha256"] != serial["journal_sha256"]:
+        raise SystemExit(
+            f"FAIL: scenario sweep workers={biggest} journal differs from the serial "
+            "reference (determinism broken; timings are meaningless)"
+        )
+    entry["speedup_vs_serial"] = round(serial["wall_s"] / entry["wall_s"], 4)
+    print(
+        f"[scenario] serial {serial['wall_s']:.2f}s, workers={biggest} "
+        f"{entry['wall_s']:.2f}s ({entry['trials_per_s']:.2f} trials/s, "
+        f"{entry['speedup_vs_serial']:.2f}x) over {len(BENCH_SCENARIOS)} scenarios"
+    )
+    return {"scenarios": list(BENCH_SCENARIOS), "runs": [serial, entry]}
 
 
 def _overhead_record(index: int) -> dict:
@@ -268,6 +301,19 @@ def validate_bench(payload: dict) -> None:
     for key in ("records", "v2_records_per_s", "v3_records_per_s", "chain_overhead_frac"):
         if not isinstance(journal.get(key), (int, float)):
             raise ValueError(f"journal.{key} must be a number")
+    sweep = payload.get("scenario_sweep")
+    if not isinstance(sweep, dict):
+        raise ValueError("scenario_sweep must be an object")
+    names = sweep.get("scenarios")
+    if not isinstance(names, list) or not names or not all(isinstance(n, str) for n in names):
+        raise ValueError("scenario_sweep.scenarios must be a non-empty list of names")
+    sweep_runs = sweep.get("runs")
+    if not isinstance(sweep_runs, list) or not sweep_runs:
+        raise ValueError("scenario_sweep.runs must be a non-empty list")
+    for run in sweep_runs:
+        for key in ("workers", "wall_s", "trials_per_s", "speedup_vs_serial"):
+            if not isinstance(run.get(key), (int, float)):
+                raise ValueError(f"scenario_sweep.runs[].{key} must be a number")
 
 
 def gate_against_baseline(runs: list[dict], baseline: dict, max_regression: float) -> list[str]:
@@ -357,13 +403,18 @@ def main(argv: list[str] | None = None) -> int:
 
     runs = run_sweep(tmp, cache, args, "sweep")
     journal_overhead = bench_journal_overhead(tmp)
+    scenario_sweep = bench_scenario_sweep(tmp, cache, args)
 
     baseline = None
     if args.baseline:
         baseline_path = Path(args.baseline)
         if baseline_path.is_file():
             baseline = json.loads(baseline_path.read_text(encoding="utf-8"))
-            validate_bench(baseline)
+            try:
+                validate_bench(baseline)
+            except ValueError as exc:
+                print(f"note: baseline {baseline_path} is from another schema ({exc}); gate skipped")
+                baseline = None
         else:
             print(f"note: baseline {baseline_path} not found; gate skipped")
 
@@ -393,6 +444,7 @@ def main(argv: list[str] | None = None) -> int:
         },
         "runs": runs,
         "journal": journal_overhead,
+        "scenario_sweep": scenario_sweep,
         "host": {
             "python": platform.python_version(),
             "platform": sys.platform,

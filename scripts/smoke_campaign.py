@@ -15,6 +15,12 @@ Three phases, all against the same 4-model synthetic cache::
 3. **Resume** — ``--resume`` completes the interrupted run; the merged
    journal is byte-identical to the serial reference, every index exactly
    once.
+4. **Scenario sweep** — a 3-scenario declarative sweep
+   (``--scenarios channel-bitflip-10pct,quantize-4bit,stuck-at-zero-1pct``)
+   is SIGKILLed mid-run, resumed to completion, byte-compared against both
+   a straight serial run and a ``--workers 4`` run, audited with ``verify``
+   (exit 0), and its ``report`` must reconcile per-scenario trial counts
+   exactly with the journal.
 
 Every phase boundary is additionally audited with ``python -m
 polygraphmr.campaign verify`` — after the serial run, after the shard
@@ -51,7 +57,12 @@ DEADLINE_S = 300.0
 ENV = {"PYTHONPATH": str(REPO_ROOT / "src")}
 
 
-def campaign_cmd(cache: Path, out: Path, *, workers: int, resume: bool = False) -> list[str]:
+SCENARIOS = ("channel-bitflip-10pct", "quantize-4bit", "stuck-at-zero-1pct")
+
+
+def campaign_cmd(
+    cache: Path, out: Path, *, workers: int, resume: bool = False, scenarios: bool = False
+) -> list[str]:
     cmd = [
         sys.executable,
         "-m",
@@ -73,15 +84,20 @@ def campaign_cmd(cache: Path, out: Path, *, workers: int, resume: bool = False) 
         "--workers",
         str(workers),
     ]
+    if scenarios:
+        cmd += ["--scenarios", ",".join(SCENARIOS)]
     if resume:
         cmd.append("--resume")
     return cmd
 
 
-def timed_run(cache: Path, out: Path, *, workers: int) -> tuple[float, dict]:
+def timed_run(cache: Path, out: Path, *, workers: int, scenarios: bool = False) -> tuple[float, dict]:
     start = time.monotonic()
     proc = subprocess.run(
-        campaign_cmd(cache, out, workers=workers), env=ENV, capture_output=True, text=True
+        campaign_cmd(cache, out, workers=workers, scenarios=scenarios),
+        env=ENV,
+        capture_output=True,
+        text=True,
     )
     elapsed = time.monotonic() - start
     if proc.returncode != 0:
@@ -220,10 +236,76 @@ def phase_kill_and_resume(tmp: Path) -> None:
     verify_dir(out, "post-resume merge")
 
 
+def phase_scenario_sweep(tmp: Path) -> None:
+    """Declarative sweep: SIGKILL mid-run, resume, byte-identity, report."""
+
+    import os
+
+    cache = tmp / "cache"
+    serial_out, parallel_out, killed_out = tmp / "sc-serial", tmp / "sc-parallel", tmp / "sc-killed"
+
+    _, serial_summary = timed_run(cache, serial_out, workers=1, scenarios=True)
+    _, parallel_summary = timed_run(cache, parallel_out, workers=4, scenarios=True)
+    reference = (serial_out / "journal.jsonl").read_bytes()
+    if (parallel_out / "journal.jsonl").read_bytes() != reference:
+        raise SystemExit("FAIL: scenario sweep: 4-worker journal differs from serial")
+    if serial_summary["outcomes"] != parallel_summary["outcomes"]:
+        raise SystemExit("FAIL: scenario sweep: outcome counts differ serial vs 4-worker")
+    print(f"OK: {len(SCENARIOS)}-scenario sweep byte-identical serial vs 4 workers")
+
+    proc = subprocess.Popen(
+        campaign_cmd(cache, killed_out, workers=4, scenarios=True),
+        env=ENV,
+        start_new_session=True,  # killpg must not reach the smoke runner itself
+    )
+    deadline = time.monotonic() + DEADLINE_S
+    while n_trials_journalled(killed_out) < 3:
+        if proc.poll() is not None:
+            raise SystemExit(f"FAIL: scenario sweep exited ({proc.returncode}) before SIGKILL")
+        if time.monotonic() > deadline:
+            os.killpg(proc.pid, signal.SIGKILL)
+            raise SystemExit("FAIL: timed out waiting for scenario-sweep trials")
+        time.sleep(POLL_S)
+    os.killpg(proc.pid, signal.SIGKILL)  # parent AND workers: a true crash
+    proc.wait(timeout=120)
+    print(f"SIGKILLed scenario sweep after {n_trials_journalled(killed_out)} journalled trial(s); resuming")
+
+    resumed = subprocess.run(
+        campaign_cmd(cache, killed_out, workers=4, resume=True, scenarios=True),
+        env=ENV,
+        capture_output=True,
+        text=True,
+    )
+    if resumed.returncode != 0:
+        raise SystemExit(f"FAIL: scenario-sweep resume exited {resumed.returncode}: {resumed.stderr}")
+    if (killed_out / "journal.jsonl").read_bytes() != reference:
+        raise SystemExit("FAIL: resumed scenario sweep differs from the serial reference")
+    print("OK: SIGKILLed scenario sweep resumed; journal byte-identical to serial")
+    verify_dir(killed_out, "scenario sweep post-resume")
+
+    report_proc = subprocess.run(
+        [sys.executable, "-m", "polygraphmr.campaign", "report", str(killed_out), "--json"],
+        env=ENV,
+        capture_output=True,
+        text=True,
+    )
+    if report_proc.returncode != 0:
+        raise SystemExit(f"FAIL: campaign report exited {report_proc.returncode}: {report_proc.stderr}")
+    report = json.loads(report_proc.stdout)
+    journalled = len(CampaignJournal(killed_out / "journal.jsonl").trial_records())
+    per_scenario = {name: row["trials"] for name, row in report["scenarios"].items()}
+    if sum(per_scenario.values()) != journalled or not set(per_scenario) <= set(SCENARIOS):
+        raise SystemExit(
+            f"FAIL: report does not reconcile with the journal: {per_scenario} vs {journalled} trial(s)"
+        )
+    print(f"OK: report reconciles with the journal: {per_scenario} == {journalled} trial(s)")
+
+
 def main() -> int:
     tmp = Path(tempfile.mkdtemp(prefix="polygraphmr-smoke-"))
     phase_equivalence_and_speedup(tmp)
     phase_kill_and_resume(tmp)
+    phase_scenario_sweep(tmp)
     return 0
 
 

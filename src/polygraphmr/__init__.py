@@ -11,8 +11,10 @@ Layers (see ``docs/ARCHITECTURE.md``):
 2. Ensemble runtime — graceful-degradation assembly + decision module
    (:mod:`polygraphmr.ensemble`, :mod:`polygraphmr.decision`), guarded by
    per-submodel circuit breakers (:mod:`polygraphmr.breaker`).
-3. Fault-injection harness (:mod:`polygraphmr.faults`) and the crash-safe,
-   resumable campaign runner over it (:mod:`polygraphmr.campaign`).
+3. Fault-injection harness (:mod:`polygraphmr.faults`) with declarative
+   multi-resolution scenarios (:mod:`polygraphmr.scenarios`) and the
+   crash-safe, resumable campaign runner over it
+   (:mod:`polygraphmr.campaign`).
 4. Error taxonomy + bounded retry (:mod:`polygraphmr.errors`).
 5. Observability — out-of-band metrics registry and tracing spans
    (:mod:`polygraphmr.metrics`, :mod:`polygraphmr.tracing`).
@@ -27,6 +29,7 @@ from .errors import (
     ArtifactError,
     ArtifactMissing,
     CampaignError,
+    ConfigError,
     DegradedEnsemble,
     IntegrityMismatch,
     PolygraphError,
@@ -52,16 +55,28 @@ from .tracing import Span, SpanRecord, Tracer, get_tracer, set_tracer
 
 __version__ = "0.1.0"
 
-_FAULT_EXPORTS = ("FaultSpec", "inject_bitflips", "inject_gaussian", "measure_degradation")
+_FAULT_EXPORTS = (
+    "FaultSpec",
+    "apply_fault",
+    "inject_bitflips",
+    "inject_bitflips_channel",
+    "inject_bitflips_element",
+    "inject_gaussian",
+    "inject_quantize",
+    "inject_stuck_at",
+    "measure_degradation",
+)
 _CAMPAIGN_EXPORTS = (
     "CampaignConfig",
     "CampaignJournal",
     "CampaignRunner",
     "TrialExecutor",
     "TrialSpec",
+    "report_campaign",
     "verify_campaign",
 )
 _PARALLEL_EXPORTS = ("ParallelCampaignRunner",)
+_SCENARIO_EXPORTS = ("Scenario", "ScenarioFault", "builtin_scenarios", "resolve_scenarios")
 
 
 def __getattr__(name: str):
@@ -80,6 +95,10 @@ def __getattr__(name: str):
         from . import parallel
 
         return getattr(parallel, name)
+    if name in _SCENARIO_EXPORTS:
+        from . import scenarios
+
+        return getattr(scenarios, name)
     raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 __all__ = [
@@ -96,6 +115,7 @@ __all__ = [
     "CampaignJournal",
     "CampaignRunner",
     "CircuitBreaker",
+    "ConfigError",
     "Counter",
     "DegradedEnsemble",
     "DegradedResult",
@@ -114,6 +134,8 @@ __all__ = [
     "PolygraphError",
     "RetryPolicy",
     "SalvageReport",
+    "Scenario",
+    "ScenarioFault",
     "SharedMemoryPlane",
     "Span",
     "SpanRecord",
@@ -121,15 +143,23 @@ __all__ = [
     "TransientIOError",
     "TrialExecutor",
     "TrialSpec",
+    "apply_fault",
+    "builtin_scenarios",
     "display_to_stem",
     "get_registry",
     "get_tracer",
     "inject_bitflips",
+    "inject_bitflips_channel",
+    "inject_bitflips_element",
     "inject_gaussian",
+    "inject_quantize",
+    "inject_stuck_at",
     "load_registry",
     "measure_degradation",
     "merge_registries",
+    "report_campaign",
     "resolve_greedy_file",
+    "resolve_scenarios",
     "retry_with_backoff",
     "salvage_npz",
     "set_registry",

@@ -45,6 +45,7 @@ import sys
 import threading
 import time
 from dataclasses import dataclass
+from functools import lru_cache
 from pathlib import Path
 
 import numpy as np
@@ -52,7 +53,7 @@ import numpy as np
 from .breaker import BreakerBoard, BreakerPolicy, merge_snapshots, non_closed_in_snapshot
 from .cache import DEFAULT_CACHE_BYTES, ArtifactCache
 from .ensemble import EnsembleRuntime
-from .errors import CampaignError
+from .errors import CampaignError, ConfigError
 from .faults import FaultSpec, build_synthetic_model, measure_degradation
 from .journal import (
     CHECKPOINT_NAME,
@@ -107,8 +108,11 @@ __all__ = [
     "checkpoint_payload",
     "config_from_dict",
     "config_genesis",
+    "scenarios_config_field",
     "verify_campaign",
     "verify_main",
+    "report_campaign",
+    "report_main",
     "CampaignRunner",
     "main",
 ]
@@ -136,6 +140,11 @@ class CampaignConfig:
     rates: tuple[float, ...] = (0.001, 0.01, 0.05)
     sigmas: tuple[float, ...] = (0.02, 0.05, 0.1)
     models: tuple[str, ...] = ()  # empty = every model in the cache
+    # declarative scenario sweep: each entry is one scenario's *canonical
+    # JSON* (hashable, and exactly the bytes its identity hash covers).
+    # Empty = legacy kinds/rates/sigmas sweep.  Build with
+    # ``scenarios_config_field``; recover objects with ``scenario_objects``.
+    scenarios: tuple[str, ...] = ()
     timeout_s: float = 120.0  # <= 0 disables the watchdog
     allow_salvaged: bool = False
     failure_threshold: int = 3
@@ -144,7 +153,7 @@ class CampaignConfig:
     trial_sleep_s: float = 0.0  # artificial per-trial latency (testing aid)
 
     def to_dict(self) -> dict:
-        return {
+        out = {
             "cache": self.cache,
             "n_trials": self.n_trials,
             "seed": self.seed,
@@ -159,14 +168,45 @@ class CampaignConfig:
             "min_members": self.min_members,
             "trial_sleep_s": self.trial_sleep_s,
         }
+        if self.scenarios:
+            # only present when sweeping scenarios, so legacy campaigns keep
+            # journalling the exact same header bytes (and genesis hash)
+            out["scenarios"] = [json.loads(s) for s in self.scenarios]
+        return out
+
+    def scenario_objects(self) -> tuple:
+        """The sweep's :class:`~polygraphmr.scenarios.Scenario` objects,
+        re-validated from their canonical JSON (cached per scenario list)."""
+
+        return _scenarios_from_canonical(self.scenarios)
 
     def breaker_policy(self) -> BreakerPolicy:
         return BreakerPolicy(self.failure_threshold, self.cooldown_ticks)
 
 
+def scenarios_config_field(scenarios) -> tuple[str, ...]:
+    """Encode Scenario objects as the config's canonical-JSON tuple."""
+
+    return tuple(s.canonical_json() for s in scenarios)
+
+
+@lru_cache(maxsize=32)
+def _scenarios_from_canonical(scenarios: tuple[str, ...]) -> tuple:
+    from .scenarios import parse_scenario
+
+    return tuple(parse_scenario(json.loads(s)) for s in scenarios)
+
+
 def config_from_dict(d: dict) -> CampaignConfig:
     """Rebuild a :class:`CampaignConfig` from its journalled ``to_dict``
-    form — the auditor's path from a sealed header back to a live config."""
+    form — the auditor's path from a sealed header back to a live config.
+
+    Scenario entries are re-validated and re-canonicalised on the way in,
+    so a journalled scenario that no longer parses (or was edited into an
+    invalid state) surfaces as :class:`~polygraphmr.errors.ConfigError`
+    here rather than as a derivation failure deep in the replay audit."""
+
+    from .scenarios import parse_scenario
 
     return CampaignConfig(
         cache=d["cache"],
@@ -176,6 +216,9 @@ def config_from_dict(d: dict) -> CampaignConfig:
         rates=tuple(d["rates"]),
         sigmas=tuple(d["sigmas"]),
         models=tuple(d["models"]),
+        scenarios=tuple(
+            parse_scenario(s, source="config.scenarios").canonical_json() for s in d.get("scenarios", [])
+        ),
         timeout_s=d["timeout_s"],
         allow_salvaged=d["allow_salvaged"],
         failure_threshold=d["failure_threshold"],
@@ -193,7 +236,15 @@ def config_genesis(config: CampaignConfig) -> str:
 
 @dataclass(frozen=True)
 class TrialSpec:
-    """One trial's full parameterisation — a pure function of (seed, index)."""
+    """One trial's full parameterisation — a pure function of (seed, index).
+
+    In a scenario sweep, ``scenario``/``scenario_sha256`` name the trial's
+    scenario and pin its canonical-config identity; ``kind``/``rate``/
+    ``sigma`` then mirror the scenario's own parameters (informational —
+    the scenario is the source of truth).  Legacy sweeps leave both None
+    and their journalled form carries no scenario keys at all, so pre-
+    scenario journals stay byte-identical.
+    """
 
     index: int
     model: str
@@ -201,9 +252,11 @@ class TrialSpec:
     rate: float
     sigma: float
     fault_seed: int
+    scenario: str | None = None
+    scenario_sha256: str | None = None
 
     def to_dict(self) -> dict:
-        return {
+        out = {
             "index": self.index,
             "model": self.model,
             "kind": self.kind,
@@ -211,6 +264,10 @@ class TrialSpec:
             "sigma": self.sigma,
             "fault_seed": self.fault_seed,
         }
+        if self.scenario is not None:
+            out["scenario"] = self.scenario
+            out["scenario_sha256"] = self.scenario_sha256
+        return out
 
 
 def derive_trial_spec(config: CampaignConfig, models: list[str], index: int) -> TrialSpec:
@@ -218,12 +275,27 @@ def derive_trial_spec(config: CampaignConfig, models: list[str], index: int) -> 
 
     Seeded with ``[config.seed, index]`` so any trial can be re-derived in
     isolation — the property that makes resume exact (and lets ``verify``
-    replay-check a journal without running a single trial).
+    replay-check a journal without running a single trial).  A scenario
+    sweep draws one scenario from the configured list per trial; the
+    scenario's canonical hash rides along in the spec, so the journalled
+    record pins *what* was injected, not just which name.
     """
 
     if not models:
         raise CampaignError("no-models", f"cache {config.cache!r} has no model directories")
     rng = np.random.default_rng([config.seed, index])
+    if config.scenarios:
+        scenario = config.scenario_objects()[int(rng.integers(len(config.scenarios)))]
+        return TrialSpec(
+            index=index,
+            model=models[index % len(models)],
+            kind=scenario.kind,
+            rate=float(scenario.rate),
+            sigma=float(scenario.sigma),
+            fault_seed=int(rng.integers(2**31 - 1)),
+            scenario=scenario.name,
+            scenario_sha256=scenario.config_hash(),
+        )
     return TrialSpec(
         index=index,
         model=models[index % len(models)],
@@ -458,8 +530,31 @@ class TrialExecutor:
             self.boards[model] = board
             self._runtimes.pop(model, None)
 
+    def _scenario_for(self, spec: TrialSpec):
+        """Resolve a spec's scenario from the config, cross-checking the
+        journalled hash — a spec naming a scenario the config does not carry
+        (or carrying different bytes) must never silently run something else."""
+
+        for scenario in self.config.scenario_objects():
+            if scenario.name == spec.scenario:
+                if scenario.config_hash() != spec.scenario_sha256:
+                    raise CampaignError(
+                        "scenario-mismatch",
+                        f"trial {spec.index}: scenario {spec.scenario!r} hashes to "
+                        f"{scenario.config_hash()[:12]}… in the config but the spec pins "
+                        f"{str(spec.scenario_sha256)[:12]}…",
+                    )
+                return scenario
+        raise CampaignError(
+            "scenario-mismatch",
+            f"trial {spec.index}: scenario {spec.scenario!r} is not in the campaign config",
+        )
+
     def _run_trial(self, spec: TrialSpec) -> dict:
-        fault = FaultSpec(kind=spec.kind, rate=spec.rate, sigma=spec.sigma, seed=spec.fault_seed)
+        if spec.scenario is not None:
+            fault = self._scenario_for(spec).fault(spec.fault_seed)
+        else:
+            fault = FaultSpec(kind=spec.kind, rate=spec.rate, sigma=spec.sigma, seed=spec.fault_seed)
         return measure_degradation(
             self.store, spec.model, fault, seed=self.config.seed, runtime=self.runtime_for(spec.model)
         )
@@ -536,6 +631,10 @@ class TrialExecutor:
             elif outcome == OUTCOME_ERROR:
                 record["error"] = repr(error)
         registry.counter("campaign_trials_total", outcome=outcome).inc()
+        if spec.scenario is not None:
+            registry.counter(
+                "campaign_scenario_trials_total", scenario=spec.scenario, outcome=outcome
+            ).inc()
         if outcome == OUTCOME_TIMEOUT:
             # the watchdog firing was previously only journalled; count it so
             # dashboards see hung trials without parsing the journal
@@ -991,7 +1090,7 @@ def _verify_campaign(out: Path) -> dict:
     # 4. replay audit: every trial must re-derive from the journalled config
     try:
         config = config_from_dict(cfg_dict)
-    except (KeyError, TypeError) as exc:
+    except (KeyError, TypeError, ValueError) as exc:  # ValueError covers ConfigError
         return chain_fail(JOURNAL_NAME, 1, "journal-bad-header", f"journalled config is malformed: {exc!r}")
     models = header.get("models")
     if trials and (not isinstance(models, list) or not models):
@@ -1026,6 +1125,142 @@ def _verify_campaign(out: Path) -> dict:
     report["status"] = "ok"
     report["exit_code"] = VERIFY_OK
     return report
+
+
+# -- cross-scenario report (`campaign report`) -------------------------------
+
+
+def report_campaign(out_dir: str | Path) -> dict:
+    """Cross-scenario survival report, computed purely from the journal.
+
+    Groups every journalled trial by its scenario (legacy sweeps group by
+    fault kind, keyed ``kind:<kind>``) and summarises, per scenario:
+
+    * ``trials`` / ``outcomes`` — trial counts by outcome; the per-scenario
+      ``trials`` sum equals the journal's total trial count *exactly*, so
+      the report reconciles against the journal record-for-record.
+    * ``survived`` / ``survival_rate`` — trials that completed ``ok`` with
+      the faulted detector still better than chance (faulted AUC ≥ 0.5):
+      the ensemble's misprediction detection survived the injection.
+    * ``degraded`` / ``degraded_rate`` — ok-trials the ensemble ran in
+      degraded mode (members missing or quarantined).
+    * ``override`` — mean decision-gate flag rate (the fraction of inputs
+      where the gate overrides ORG's answer), clean vs faulted.
+    * ``mean_delta_auc`` — mean clean→faulted AUC shift.
+
+    The report never re-runs a trial and never touches journal bytes; it is
+    a pure read of the same records ``verify`` audits.
+    """
+
+    out = Path(out_dir)
+    state = scan_campaign(out)
+    if state.header is None:
+        raise CampaignError("journal-no-header", f"no verifiable header record in {out}")
+    rows: dict[str, dict] = {}
+    stats: dict[str, dict] = {}
+    for index in sorted(state.trials):
+        record = state.trials[index]
+        spec = record.get("spec", {})
+        name = spec.get("scenario") or f"kind:{spec.get('kind')}"
+        row = rows.setdefault(
+            name,
+            {
+                "scenario_sha256": spec.get("scenario_sha256"),
+                "trials": 0,
+                "outcomes": {OUTCOME_OK: 0, OUTCOME_ERROR: 0, OUTCOME_TIMEOUT: 0},
+                "survived": 0,
+                "degraded": 0,
+            },
+        )
+        acc = stats.setdefault(name, {"clean": [], "faulted": [], "delta_auc": []})
+        row["trials"] += 1
+        outcome = record.get("outcome")
+        row["outcomes"][outcome] = row["outcomes"].get(outcome, 0) + 1
+        result = record.get("result")
+        if outcome != OUTCOME_OK or not isinstance(result, dict):
+            continue
+        faulted_auc = result.get("faulted", {}).get("auc")
+        if isinstance(faulted_auc, (int, float)) and faulted_auc >= 0.5:
+            row["survived"] += 1
+        if result.get("degraded"):
+            row["degraded"] += 1
+        override = result.get("override")
+        if isinstance(override, dict):
+            acc["clean"].append(float(override.get("clean", 0.0)))
+            acc["faulted"].append(float(override.get("faulted", 0.0)))
+        delta_auc = result.get("delta", {}).get("auc")
+        if isinstance(delta_auc, (int, float)):
+            acc["delta_auc"].append(float(delta_auc))
+
+    def mean(values: list[float]) -> float | None:
+        return round(sum(values) / len(values), 6) if values else None
+
+    scenarios: dict[str, dict] = {}
+    for name in sorted(rows):
+        row, acc = rows[name], stats[name]
+        n = row["trials"]
+        row["survival_rate"] = round(row["survived"] / n, 6) if n else 0.0
+        row["degraded_rate"] = round(row["degraded"] / n, 6) if n else 0.0
+        row["override"] = {"clean": mean(acc["clean"]), "faulted": mean(acc["faulted"])}
+        row["mean_delta_auc"] = mean(acc["delta_auc"])
+        scenarios[name] = row
+    return {
+        "schema": "polygraphmr/campaign-report/v1",
+        "out_dir": str(out),
+        "n_trials": state.header.get("config", {}).get("n_trials"),
+        "completed": len(state.trials),
+        "scenarios": scenarios,
+    }
+
+
+def report_main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m polygraphmr.campaign report",
+        description="Summarise a campaign journal per scenario: trial counts by "
+        "outcome, ensemble survival (faulted AUC >= 0.5), degraded-mode and "
+        "decision-gate override rates.  Counts reconcile exactly with the journal.",
+    )
+    parser.add_argument("out_dir", help="campaign directory (journal + checkpoint)")
+    parser.add_argument("--json", action="store_true", help="machine-readable report on stdout")
+    args = parser.parse_args(argv)
+    try:
+        report = report_campaign(args.out_dir)
+    except CampaignError as exc:
+        print(f"report error: {exc}", file=sys.stderr)
+        return 2
+    if args.json:
+        json.dump(report, sys.stdout, indent=2, sort_keys=True)
+        sys.stdout.write("\n")
+        return 0
+    print(f"{report['completed']}/{report['n_trials']} trial(s) journalled in {report['out_dir']}")
+    header = ("scenario", "trials", "ok", "err", "t/o", "survival", "degraded", "override", "Δauc")
+    table = [header]
+    for name, row in report["scenarios"].items():
+        oc = row["outcomes"]
+        ov = row["override"]
+        override = (
+            f"{ov['clean']:.3f}→{ov['faulted']:.3f}" if ov["clean"] is not None and ov["faulted"] is not None else "-"
+        )
+        delta = f"{row['mean_delta_auc']:+.4f}" if row["mean_delta_auc"] is not None else "-"
+        table.append(
+            (
+                name,
+                str(row["trials"]),
+                str(oc.get(OUTCOME_OK, 0)),
+                str(oc.get(OUTCOME_ERROR, 0)),
+                str(oc.get(OUTCOME_TIMEOUT, 0)),
+                f"{row['survival_rate']:.3f}",
+                f"{row['degraded_rate']:.3f}",
+                override,
+                delta,
+            )
+        )
+    widths = [max(len(r[i]) for r in table) for i in range(len(header))]
+    for i, r in enumerate(table):
+        print("  ".join(cell.ljust(widths[j]) for j, cell in enumerate(r)).rstrip())
+        if i == 0:
+            print("  ".join("-" * w for w in widths))
+    return 0
 
 
 # -- CLI -------------------------------------------------------------------
@@ -1076,11 +1311,15 @@ def main(argv: list[str] | None = None) -> int:
     argv = list(sys.argv[1:]) if argv is None else list(argv)
     if argv[:1] == ["verify"]:
         return verify_main(argv[1:])
+    if argv[:1] == ["report"]:
+        return report_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="python -m polygraphmr.campaign",
         description="Run a crash-safe, resumable fault-injection campaign.",
-        epilog="subcommand: python -m polygraphmr.campaign verify <dir> [--json] — "
-        "audit a campaign's hash-chained journal (exit 0/3/4)",
+        epilog="subcommands: python -m polygraphmr.campaign verify <dir> [--json] — "
+        "audit a campaign's hash-chained journal (exit 0/3/4); "
+        "python -m polygraphmr.campaign report <dir> [--json] — "
+        "cross-scenario survival report from the journal",
     )
     parser.add_argument("--cache", default=".repro_cache", help="cache root (default: .repro_cache)")
     parser.add_argument("--out", required=True, help="campaign directory for journal + checkpoint")
@@ -1097,6 +1336,14 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--kinds", type=_csv(str), default=("bitflip", "gaussian"))
     parser.add_argument("--rates", type=_csv(float), default=(0.001, 0.01, 0.05))
     parser.add_argument("--sigmas", type=_csv(float), default=(0.02, 0.05, 0.1))
+    parser.add_argument(
+        "--scenarios",
+        type=_csv(str),
+        default=(),
+        help="comma-separated scenario sweep: built-in names and/or .json/.toml "
+        "config paths (replaces the --kinds/--rates/--sigmas sweep; see "
+        "python -m polygraphmr.faults --list-scenarios)",
+    )
     parser.add_argument("--timeout", type=float, default=120.0, help="per-trial watchdog seconds; <=0 disables")
     parser.add_argument("--resume", action="store_true", help="continue at the first unfinished trial")
     parser.add_argument("--allow-salvaged", action="store_true", help="serve carved arrays from corrupt npz")
@@ -1169,6 +1416,16 @@ def main(argv: list[str] | None = None) -> int:
         except (OSError, json.JSONDecodeError) as exc:
             print(f"warning: could not read audit json {args.audit_json!r}: {exc!r}", file=sys.stderr)
 
+    scenarios: tuple[str, ...] = ()
+    if args.scenarios:
+        from .scenarios import resolve_scenarios
+
+        try:
+            scenarios = scenarios_config_field(resolve_scenarios(args.scenarios))
+        except ConfigError as exc:
+            print(f"scenario error: {exc}", file=sys.stderr)
+            return 2
+
     config = CampaignConfig(
         cache=str(cache),
         n_trials=args.trials,
@@ -1177,6 +1434,7 @@ def main(argv: list[str] | None = None) -> int:
         rates=args.rates,
         sigmas=args.sigmas,
         models=args.models,
+        scenarios=scenarios,
         timeout_s=args.timeout,
         allow_salvaged=args.allow_salvaged,
         failure_threshold=args.failure_threshold,

@@ -25,6 +25,7 @@ __all__ = [
     "DegradedEnsemble",
     "TransientIOError",
     "CampaignError",
+    "ConfigError",
     "RetryPolicy",
     "retry_with_backoff",
 ]
@@ -127,6 +128,37 @@ class CampaignError(PolygraphError):
         self.reason = reason
         self.detail = detail
         msg = reason if not detail else f"{reason} ({detail})"
+        super().__init__(msg)
+
+
+class ConfigError(PolygraphError, ValueError):
+    """A declarative configuration is invalid — a fault scenario file, a
+    :class:`~polygraphmr.faults.FaultSpec`, or a campaign parameter.
+
+    Raised at *construction/parse* time, never deep inside an injection
+    loop, so the offending field is named while the full config context is
+    still at hand.  Subclasses :class:`ValueError` as well so callers that
+    predate the taxonomy (``except ValueError``) keep working.
+
+    Parameters
+    ----------
+    field:
+        Exact path of the offending field, e.g. ``"scenario.rate"`` or
+        ``"scenarios/quantize-4bit.toml: scenario.step"``.
+    reason:
+        Short machine-readable code, e.g. ``"out-of-range"``,
+        ``"unknown-kind"``, ``"missing-field"``.
+    detail:
+        Human-readable elaboration — what was found, what would be valid.
+    """
+
+    def __init__(self, field: str, reason: str, detail: str = ""):
+        self.field = field
+        self.reason = reason
+        self.detail = detail
+        msg = f"{field}: {reason}"
+        if detail:
+            msg = f"{msg} ({detail})"
         super().__init__(msg)
 
 

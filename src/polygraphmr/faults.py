@@ -1,11 +1,18 @@
-"""MRFI-style fault-injection harness.
+"""MRFI-style multi-resolution fault-injection harness.
 
-Two families of injectors, both seeded and reproducible:
+Three families of injectors, all seeded and reproducible:
 
 * **Tensor-level** — random bit-flips in the float32 mantissa/exponent/sign
   bits and additive gaussian noise, applied to loaded probability or weight
   tensors.  Used to measure how misprediction-detection quality degrades as
   the ensemble's inputs are perturbed.
+* **Multi-resolution surfaces** (MRFI) — the same fault models addressed at
+  finer granularities: channel-masked injection (a fraction of last-axis
+  channels/columns, every element within a hit channel faulted) and
+  element-addressed injection (a fixed count of addressed cells), plus
+  quantization-style rounding perturbation and stuck-at-0/1 faults.
+  :func:`apply_fault` is the one surface × fault-model dispatch the
+  declarative :mod:`polygraphmr.scenarios` subsystem drives.
 * **Artifact-level** — byte truncation and header damage applied to copies
   of ``.npz`` files, used to exercise the store's quarantine path.
 
@@ -26,13 +33,23 @@ import numpy as np
 from .cache import DEFAULT_CACHE_BYTES, ArtifactCache
 from .decision import LogisticDecisionModule, ensemble_features, misprediction_targets
 from .ensemble import EnsembleRuntime
+from .errors import ConfigError
 from .metrics import get_registry
 from .store import ArtifactStore
 
 __all__ = [
+    "SURFACES",
+    "FAULT_MODELS",
+    "FAULT_SPEC_KINDS",
     "FaultSpec",
+    "select_fault_indices",
+    "apply_fault",
     "inject_bitflips",
+    "inject_bitflips_channel",
+    "inject_bitflips_element",
     "inject_gaussian",
+    "inject_quantize",
+    "inject_stuck_at",
     "sanitize_probs",
     "corrupt_file_truncate",
     "corrupt_file_header",
@@ -40,23 +57,57 @@ __all__ = [
     "main",
 ]
 
+SURFACES = ("tensor", "channel", "element")
+FAULT_MODELS = ("bitflip", "gaussian", "quantize", "stuck0", "stuck1")
+FAULT_SPEC_KINDS = ("bitflip", "gaussian")
+
+
+def _require_number(field: str, value, *, low: float | None = None, high: float | None = None) -> None:
+    if isinstance(value, bool) or not isinstance(value, (int, float)) or not np.isfinite(value):
+        raise ConfigError(field, "bad-type", f"expected a finite number, got {value!r}")
+    if low is not None and value < low:
+        raise ConfigError(field, "out-of-range", f"must be >= {low}, got {value!r}")
+    if high is not None and value > high:
+        raise ConfigError(field, "out-of-range", f"must be <= {high}, got {value!r}")
+
 
 @dataclass(frozen=True)
 class FaultSpec:
-    """Declarative description of a tensor-level fault campaign."""
+    """Declarative description of a tensor-level fault campaign.
+
+    The simple whole-tensor spec the legacy ``--kind/--rate/--sigma`` sweep
+    uses; surface-aware faults live in :class:`polygraphmr.scenarios.Scenario`.
+    Parameters are validated at construction: an unknown ``kind`` or an
+    out-of-range ``rate``/``sigma`` raises :class:`~polygraphmr.errors.ConfigError`
+    naming the offending field, instead of a deep ``ValueError`` mid-sweep.
+    """
 
     kind: str  # "bitflip" | "gaussian"
     rate: float = 0.0  # bitflip: fraction of elements hit
     sigma: float = 0.0  # gaussian: noise stddev
     seed: int = 0
 
+    def __post_init__(self) -> None:
+        if self.kind not in FAULT_SPEC_KINDS:
+            raise ConfigError(
+                "fault.kind",
+                "unknown-kind",
+                f"got {self.kind!r}; known kinds: {', '.join(FAULT_SPEC_KINDS)} "
+                "(surface-aware kinds like quantize/stuck0/stuck1 are Scenario-only)",
+            )
+        _require_number("fault.rate", self.rate, low=0.0, high=1.0)
+        _require_number("fault.sigma", self.sigma, low=0.0)
+
     def apply(self, arr: np.ndarray) -> np.ndarray:
         rng = np.random.default_rng(self.seed)
         if self.kind == "bitflip":
             return inject_bitflips(arr, rate=self.rate, rng=rng)
-        if self.kind == "gaussian":
-            return inject_gaussian(arr, sigma=self.sigma, rng=rng)
-        raise ValueError(f"unknown fault kind: {self.kind!r}")
+        return inject_gaussian(arr, sigma=self.sigma, rng=rng)
+
+    def describe(self) -> dict:
+        """The journalled ``fault`` stanza of a degradation report."""
+
+        return {"kind": self.kind, "rate": self.rate, "sigma": self.sigma, "seed": self.seed}
 
 
 def inject_bitflips(arr: np.ndarray, *, rate: float, rng: np.random.Generator) -> np.ndarray:
@@ -85,6 +136,124 @@ def inject_gaussian(arr: np.ndarray, *, sigma: float, rng: np.random.Generator) 
 
     out = np.asarray(arr, dtype=np.float64).copy()
     return out + rng.normal(0.0, sigma, size=out.shape)
+
+
+# -- multi-resolution surfaces (MRFI) --------------------------------------
+
+
+def select_fault_indices(
+    shape: tuple[int, ...], surface: str, *, rate: float = 0.0, count: int = 0, rng: np.random.Generator
+) -> np.ndarray:
+    """Flat element indices an injection surface selects on a tensor.
+
+    * ``tensor`` — a ``rate`` fraction of *all* elements, drawn without
+      replacement (the whole tensor is the blast radius).
+    * ``channel`` — a ``rate`` fraction of last-axis channels/columns;
+      every element of a hit channel is selected (channel-masked faults,
+      e.g. a dead feature-map plane or a stuck output class column).
+    * ``element`` — exactly ``count`` addressed cells, modelling a small
+      set of specific faulty storage locations rather than a rate.
+
+    Selection is a pure function of ``(shape, surface, rate/count, rng
+    state)`` — the property every scenario's determinism rides on.
+    """
+
+    size = int(np.prod(shape)) if shape else 0
+    if size == 0:
+        return np.empty(0, dtype=np.int64)
+    if surface == "tensor":
+        n = int(round(rate * size))
+        return rng.choice(size, size=n, replace=False) if n else np.empty(0, dtype=np.int64)
+    if surface == "element":
+        n = min(int(count), size)
+        return rng.choice(size, size=n, replace=False) if n else np.empty(0, dtype=np.int64)
+    if surface == "channel":
+        n_channels = shape[-1] if len(shape) >= 2 else size
+        n = int(round(rate * n_channels))
+        if n == 0:
+            return np.empty(0, dtype=np.int64)
+        channels = np.sort(rng.choice(n_channels, size=n, replace=False))
+        rows = size // n_channels
+        return (np.arange(rows, dtype=np.int64)[:, None] * n_channels + channels[None, :]).reshape(-1)
+    raise ConfigError("scenario.surface", "unknown-surface", f"got {surface!r}; known surfaces: {', '.join(SURFACES)}")
+
+
+def apply_fault(
+    arr: np.ndarray,
+    *,
+    surface: str,
+    kind: str,
+    rate: float = 0.0,
+    sigma: float = 0.0,
+    step: float = 0.0,
+    count: int = 0,
+    rng: np.random.Generator,
+) -> np.ndarray:
+    """One surface × fault-model injection; returns a new array, the input
+    is never mutated.
+
+    ``bitflip`` flips one random IEEE-754 bit per selected float32 element;
+    ``gaussian`` adds N(0, sigma) to the selected elements; ``quantize``
+    snaps them to the nearest multiple of ``step`` (a storage-grid rounding
+    perturbation, e.g. ``step=1/16`` ≈ 4-bit cells); ``stuck0``/``stuck1``
+    clamp them to 0.0 / 1.0.  The surface decides *which* elements those
+    are (:func:`select_fault_indices`).
+    """
+
+    if kind == "bitflip":
+        out = np.ascontiguousarray(arr, dtype=np.float32).copy()
+    else:
+        out = np.asarray(arr, dtype=np.float64).copy()
+    idx = select_fault_indices(out.shape, surface, rate=rate, count=count, rng=rng)
+    if idx.size == 0:
+        return out
+    flat = out.reshape(-1)
+    if kind == "bitflip":
+        bits = rng.integers(0, 32, size=idx.size, dtype=np.uint32)
+        flat.view(np.uint32)[idx] ^= np.uint32(1) << bits
+    elif kind == "gaussian":
+        flat[idx] += rng.normal(0.0, sigma, size=idx.size)
+    elif kind == "quantize":
+        flat[idx] = np.round(flat[idx] / step) * step
+    elif kind == "stuck0":
+        flat[idx] = 0.0
+    elif kind == "stuck1":
+        flat[idx] = 1.0
+    else:
+        raise ConfigError("scenario.kind", "unknown-kind", f"got {kind!r}; known kinds: {', '.join(FAULT_MODELS)}")
+    return out
+
+
+def inject_bitflips_channel(arr: np.ndarray, *, rate: float, rng: np.random.Generator) -> np.ndarray:
+    """Channel-masked bit-flips: every element of a ``rate`` fraction of
+    last-axis channels gets one random bit flipped.  Returns a new array."""
+
+    return apply_fault(arr, surface="channel", kind="bitflip", rate=rate, rng=rng)
+
+
+def inject_bitflips_element(arr: np.ndarray, *, count: int, rng: np.random.Generator) -> np.ndarray:
+    """Element-addressed bit-flips: exactly ``count`` addressed cells each
+    get one random bit flipped.  Returns a new array."""
+
+    return apply_fault(arr, surface="element", kind="bitflip", count=count, rng=rng)
+
+
+def inject_quantize(arr: np.ndarray, *, step: float) -> np.ndarray:
+    """Quantization-style rounding perturbation: snap every element to the
+    nearest multiple of ``step``.  Deterministic; returns a new float64 array."""
+
+    out = np.asarray(arr, dtype=np.float64).copy()
+    if step > 0:
+        out = np.round(out / step) * step
+    return out
+
+
+def inject_stuck_at(arr: np.ndarray, *, rate: float, value: int, rng: np.random.Generator) -> np.ndarray:
+    """Stuck-at faults: a ``rate`` fraction of elements clamped to 0 or 1."""
+
+    if value not in (0, 1):
+        raise ConfigError("fault.value", "out-of-range", f"stuck-at value must be 0 or 1, got {value!r}")
+    return apply_fault(arr, surface="tensor", kind="stuck1" if value else "stuck0", rate=rate, rng=rng)
 
 
 def sanitize_probs(arr: np.ndarray) -> np.ndarray:
@@ -131,7 +300,7 @@ def corrupt_file_header(src: str | Path, dst: str | Path, *, n_bytes: int = 4, s
 def measure_degradation(
     store: ArtifactStore,
     model: str,
-    spec: FaultSpec,
+    spec,
     *,
     members: list[str] | None = None,
     seed: int = 0,
@@ -139,10 +308,17 @@ def measure_degradation(
 ) -> dict:
     """Clean-vs-faulted misprediction-detection metrics for one model.
 
+    ``spec`` is any seeded fault — a :class:`FaultSpec` or a
+    :class:`polygraphmr.scenarios.ScenarioFault`; it needs ``apply(arr)``,
+    ``describe()``, and (optionally) a ``target`` attribute.
+
     Trains the decision module on clean ``val`` data, then evaluates on the
-    clean ``test`` split and on a copy with ``spec`` injected into every
-    member's probabilities (sanitised back onto the simplex so the module
-    sees plausible-but-wrong inputs rather than crashing).
+    clean ``test`` split and on a faulted copy.  For ``target="probs"``
+    (the default) the fault lands in every member's probability tensor,
+    sanitised back onto the simplex so the module sees plausible-but-wrong
+    inputs rather than crashing.  For ``target="weights"`` the *decision
+    gate itself* runs on faulty hardware: the module's fitted weight vector
+    is perturbed while the inputs stay clean.
 
     Pass ``runtime`` to reuse one :class:`EnsembleRuntime` across many
     calls — the campaign runner does this so its circuit-breaker board
@@ -171,19 +347,38 @@ def measure_degradation(
     org_i = common.index("ORG")
     module.fit(ensemble_features(val_stack), misprediction_targets(val_stack[org_i], val_labels))
 
-    clean = module.evaluate(ensemble_features(test_stack), misprediction_targets(test_stack[org_i], test_labels))
+    clean_features = ensemble_features(test_stack)
+    clean_targets = misprediction_targets(test_stack[org_i], test_labels)
+    clean_flags = module.predict(clean_features)
+    clean = module.evaluate(clean_features, clean_targets)
 
-    faulted_stack = np.stack([sanitize_probs(spec.apply(test_stack[i])) for i in range(len(common))], axis=0)
-    faulted = module.evaluate(
-        ensemble_features(faulted_stack),
-        misprediction_targets(faulted_stack[org_i], test_labels),
-    )
+    if getattr(spec, "target", "probs") == "weights":
+        pristine = module.w
+        try:
+            module.w = np.asarray(spec.apply(pristine), dtype=np.float64)
+            faulted_flags = module.predict(clean_features)
+            faulted = module.evaluate(clean_features, clean_targets)
+        finally:
+            module.w = pristine
+    else:
+        faulted_stack = np.stack([sanitize_probs(spec.apply(test_stack[i])) for i in range(len(common))], axis=0)
+        faulted_features = ensemble_features(faulted_stack)
+        faulted_targets = misprediction_targets(faulted_stack[org_i], test_labels)
+        faulted_flags = module.predict(faulted_features)
+        faulted = module.evaluate(faulted_features, faulted_targets)
     return {
         "model": model,
         "members": common,
-        "fault": {"kind": spec.kind, "rate": spec.rate, "sigma": spec.sigma, "seed": spec.seed},
+        "degraded": bool(val.degraded or test.degraded),
+        "fault": spec.describe(),
         "clean": clean.to_dict(),
         "faulted": faulted.to_dict(),
+        # the gate "overrides" ORG wherever it flags a misprediction; the
+        # flag rate under fault is the ensemble's override pressure
+        "override": {
+            "clean": round(float(clean_flags.mean()), 6),
+            "faulted": round(float(faulted_flags.mean()), 6),
+        },
         "delta": {
             k: round(faulted.to_dict()[k] - clean.to_dict()[k], 6)
             for k in ("accuracy", "precision", "recall", "f1", "auc")
@@ -250,6 +445,24 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--sigma", type=float, default=0.05, help="gaussian noise stddev")
     parser.add_argument("--seed", type=int, default=0)
     parser.add_argument(
+        "--scenario",
+        default=None,
+        metavar="NAME|PATH",
+        help="inject a named built-in scenario or a scenario config file "
+        "(.json/.toml) instead of the --kind/--rate/--sigma whole-tensor fault",
+    )
+    parser.add_argument(
+        "--list-scenarios",
+        action="store_true",
+        help="list the built-in scenario library (name, surface, kind, sha256) and exit",
+    )
+    parser.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the schema'd machine-readable report (includes scenario id/hash), "
+        "mirroring audit_cache.py --json",
+    )
+    parser.add_argument(
         "--synthetic",
         metavar="DIR",
         default=None,
@@ -280,6 +493,26 @@ def main(argv: list[str] | None = None) -> int:
     )
     args = parser.parse_args(argv)
 
+    # Imported here, not at module top: scenarios imports apply_fault from
+    # this module, so the package level must stay one-directional.
+    from .scenarios import builtin_scenarios, resolve_scenarios
+
+    if args.list_scenarios:
+        library = builtin_scenarios()
+        if args.json:
+            payload = {
+                "schema": "polygraphmr/scenario-library/v1",
+                "scenarios": [
+                    {**s.canonical(), "sha256": s.config_hash()} for s in library.values()
+                ],
+            }
+            json.dump(payload, sys.stdout, indent=2)
+            sys.stdout.write("\n")
+        else:
+            for s in library.values():
+                print(f"{s.name}  surface={s.surface} kind={s.kind} target={s.target}  sha256={s.config_hash()[:12]}")
+        return 0
+
     cache = None if args.no_cache else ArtifactCache(args.cache_bytes)
     if args.synthetic is not None:
         build_synthetic_model(args.synthetic, seed=args.seed)
@@ -287,7 +520,16 @@ def main(argv: list[str] | None = None) -> int:
     else:
         store = ArtifactStore(args.cache, cache=cache)
 
-    spec = FaultSpec(kind=args.kind, rate=args.rate, sigma=args.sigma, seed=args.seed)
+    scenario = None
+    if args.scenario is not None:
+        try:
+            scenario = resolve_scenarios([args.scenario])[0]
+        except ConfigError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        spec = scenario.fault(args.seed)
+    else:
+        spec = FaultSpec(kind=args.kind, rate=args.rate, sigma=args.sigma, seed=args.seed)
     models = [args.model] if args.model else store.models()
     reports = []
     for model in models:
@@ -302,7 +544,18 @@ def main(argv: list[str] | None = None) -> int:
         prom = Path(args.metrics_prom)
         prom.parent.mkdir(parents=True, exist_ok=True)
         prom.write_text(registry.to_prometheus(), encoding="utf-8")
-    json.dump({"reports": reports}, sys.stdout, indent=2)
+    if args.json:
+        payload = {
+            "schema": "polygraphmr/faults-report/v1",
+            "scenario": None
+            if scenario is None
+            else {"name": scenario.name, "sha256": scenario.config_hash(), **scenario.canonical()},
+            "fault": spec.describe(),
+            "reports": reports,
+        }
+        json.dump(payload, sys.stdout, indent=2)
+    else:
+        json.dump({"reports": reports}, sys.stdout, indent=2)
     sys.stdout.write("\n")
     usable = [r for r in reports if "error" not in r]
     return 0 if usable else 1

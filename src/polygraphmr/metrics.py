@@ -31,6 +31,12 @@ same shape as the journal-shard merge.
 A process-global default registry (:func:`get_registry`) keeps the wiring
 zero-cost for callers; multiprocess campaign workers reset it after
 ``fork`` so their shards hold only their own deltas.
+
+Campaign counters of note: ``campaign_trials_total{outcome}`` for every
+trial, plus ``campaign_scenario_trials_total{scenario, outcome}`` when the
+campaign sweeps declarative scenarios (:mod:`polygraphmr.scenarios`) — the
+out-of-band mirror of the per-scenario rows ``python -m
+polygraphmr.campaign report`` derives from the journal.
 """
 
 from __future__ import annotations

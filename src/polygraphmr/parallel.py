@@ -11,7 +11,12 @@ keeps both:
   order.  Since :class:`~polygraphmr.campaign.TrialExecutor` keeps breaker
   boards *per model*, each worker replays exactly the per-model trial
   sub-sequences a serial run would — so every journal record it writes is
-  byte-identical to the serial run's.
+  byte-identical to the serial run's.  Scenario sweeps
+  (``--scenarios``, :mod:`polygraphmr.scenarios`) inherit all of this for
+  free: a trial's scenario is drawn inside
+  :func:`~polygraphmr.campaign.derive_trial_spec` from ``(seed, index)``
+  alone, and the scenario list is part of the journalled config (and the
+  chain genesis), never of worker state.
 * **Per-worker journal shards.**  Each worker appends to its own
   ``journal.wNN.jsonl`` (same sealed, hash-chained format as the canonical
   journal, rooted at a per-shard genesis derived from the campaign config

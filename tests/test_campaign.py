@@ -17,9 +17,16 @@ from polygraphmr.campaign import (
     CampaignConfig,
     CampaignJournal,
     CampaignRunner,
+    TrialExecutor,
+    TrialSpec,
+    config_from_dict,
+    config_genesis,
     derive_trial_spec,
     main,
     read_checkpoint,
+    report_campaign,
+    scenarios_config_field,
+    verify_campaign,
     write_checkpoint,
 )
 from polygraphmr.errors import CampaignError
@@ -324,3 +331,182 @@ class TestCLI:
         capsys.readouterr()
         header = CampaignJournal(out / JOURNAL_NAME).read()[0]
         assert header["audit"] == {"valid": 1, "corrupt": 2}
+
+
+SWEEP = ("channel-bitflip-10pct", "quantize-4bit", "stuck-at-zero-1pct")
+
+
+def _scenario_config(cache, **overrides) -> CampaignConfig:
+    from polygraphmr.scenarios import resolve_scenarios
+
+    kwargs = dict(
+        cache=str(cache),
+        n_trials=9,
+        seed=7,
+        scenarios=scenarios_config_field(resolve_scenarios(SWEEP)),
+    )
+    kwargs.update(overrides)
+    return CampaignConfig(**kwargs)
+
+
+class TestScenarioCampaign:
+    def test_derivation_draws_scenarios_and_pins_hashes(self, synthetic_cache):
+        config = _scenario_config(synthetic_cache)
+        specs = [derive_trial_spec(config, ["m"], i) for i in range(24)]
+        names = {s.scenario for s in specs}
+        assert names == set(SWEEP)  # 24 draws over 3 scenarios hit them all
+        by_name = {s.name: s for s in config.scenario_objects()}
+        for spec in specs:
+            assert spec.scenario_sha256 == by_name[spec.scenario].config_hash()
+            assert spec.kind == by_name[spec.scenario].kind
+            assert derive_trial_spec(config, ["m"], spec.index) == spec
+
+    def test_legacy_spec_journals_without_scenario_keys(self, synthetic_cache):
+        legacy = CampaignConfig(cache=str(synthetic_cache), n_trials=2, seed=7)
+        spec = derive_trial_spec(legacy, ["m"], 0)
+        assert "scenario" not in spec.to_dict()
+        assert "scenarios" not in legacy.to_dict()  # header bytes unchanged too
+
+    def test_scenarios_change_the_chain_genesis(self, synthetic_cache):
+        legacy = CampaignConfig(cache=str(synthetic_cache), n_trials=2, seed=7)
+        swept = _scenario_config(synthetic_cache, n_trials=2)
+        assert config_genesis(legacy) != config_genesis(swept)
+
+    def test_config_round_trips_through_journalled_dict(self, synthetic_cache):
+        config = _scenario_config(synthetic_cache)
+        assert config_from_dict(config.to_dict()) == config
+
+    def test_sweep_runs_resumes_verifies_and_reports(self, synthetic_cache, tmp_path):
+        """The acceptance criterion, in-process: a 3-scenario sweep killed
+        mid-run resumes byte-identically, verifies exit 0, and its report's
+        per-scenario trial counts reconcile exactly with the journal."""
+
+        config = _scenario_config(synthetic_cache)
+
+        straight = CampaignRunner(config, tmp_path / "straight")
+        assert straight.run()["completed"] == config.n_trials
+
+        interrupted = CampaignRunner(config, tmp_path / "killed")
+        assert interrupted.run(max_new_trials=4)["stopped_early"]
+        resumed = CampaignRunner(config, tmp_path / "killed")
+        assert resumed.run(resume=True)["completed"] == config.n_trials
+        assert (tmp_path / "straight" / JOURNAL_NAME).read_bytes() == (
+            tmp_path / "killed" / JOURNAL_NAME
+        ).read_bytes()
+
+        verdict = verify_campaign(tmp_path / "killed")
+        assert verdict["exit_code"] == 0, verdict
+
+        report = report_campaign(tmp_path / "killed")
+        trials = CampaignJournal(tmp_path / "killed" / JOURNAL_NAME).trial_records()
+        assert set(report["scenarios"]) <= set(SWEEP)
+        assert sum(row["trials"] for row in report["scenarios"].values()) == len(trials)
+        for name, row in report["scenarios"].items():
+            assert row["trials"] == sum(
+                1 for r in trials.values() if r["spec"]["scenario"] == name
+            )
+            assert row["scenario_sha256"]
+            assert 0.0 <= row["survival_rate"] <= 1.0
+
+    def test_executor_refuses_a_scenario_not_in_the_config(self, synthetic_cache):
+        config = _scenario_config(synthetic_cache)
+        executor = TrialExecutor(config, ["tinynet"])
+        spec = derive_trial_spec(config, ["tinynet"], 0)
+        rogue = TrialSpec(
+            index=0,
+            model="tinynet",
+            kind=spec.kind,
+            rate=spec.rate,
+            sigma=spec.sigma,
+            fault_seed=spec.fault_seed,
+            scenario="not-configured",
+            scenario_sha256="0" * 64,
+        )
+        with pytest.raises(CampaignError) as exc_info:
+            executor._run_trial(rogue)
+        assert exc_info.value.reason == "scenario-mismatch"
+        tampered = TrialSpec(
+            index=0,
+            model="tinynet",
+            kind=spec.kind,
+            rate=spec.rate,
+            sigma=spec.sigma,
+            fault_seed=spec.fault_seed,
+            scenario=spec.scenario,
+            scenario_sha256="0" * 64,
+        )
+        with pytest.raises(CampaignError) as exc_info:
+            executor._run_trial(tampered)
+        assert exc_info.value.reason == "scenario-mismatch"
+
+    def test_verify_catches_a_tampered_scenario_hash(self, synthetic_cache, tmp_path):
+        from polygraphmr.journal import seal_record
+
+        config = _scenario_config(synthetic_cache, n_trials=3)
+        runner = CampaignRunner(config, tmp_path / "out")
+        runner.run()
+        assert verify_campaign(tmp_path / "out")["exit_code"] == 0
+        journal = runner.journal.path
+        lines = journal.read_bytes().splitlines(keepends=True)
+        # re-seal trial 0 with a swapped scenario hash: the record's own seal
+        # is valid but the splice breaks the chain at the next record
+        target = json.loads(lines[1])
+        prev = target["prev"]
+        target["spec"]["scenario_sha256"] = "f" * 64
+        line, _ = seal_record(target, prev)
+        journal.write_bytes(lines[0] + (line + "\n").encode() + b"".join(lines[2:]))
+        assert verify_campaign(tmp_path / "out")["exit_code"] != 0
+
+    def test_report_on_legacy_campaign_groups_by_kind(self, synthetic_cache, tmp_path):
+        config = CampaignConfig(cache=str(synthetic_cache), n_trials=4, seed=7)
+        CampaignRunner(config, tmp_path / "out").run()
+        report = report_campaign(tmp_path / "out")
+        assert all(name.startswith("kind:") for name in report["scenarios"])
+        assert sum(r["trials"] for r in report["scenarios"].values()) == 4
+
+    def test_cli_scenario_sweep_and_report(self, tmp_path, capsys):
+        out = tmp_path / "out"
+        status = main(
+            [
+                "--synthetic",
+                str(tmp_path / "cache"),
+                "--out",
+                str(out),
+                "--trials",
+                "6",
+                "--seed",
+                "5",
+                "--scenarios",
+                ",".join(SWEEP),
+            ]
+        )
+        assert status == 0
+        summary = json.loads(capsys.readouterr().out)
+        assert summary["completed"] == 6
+        header = CampaignJournal(out / JOURNAL_NAME).read()[0]
+        assert [s["name"] for s in header["config"]["scenarios"]] == list(SWEEP)
+
+        assert main(["report", str(out), "--json"]) == 0
+        report = json.loads(capsys.readouterr().out)
+        assert report["schema"] == "polygraphmr/campaign-report/v1"
+        assert sum(r["trials"] for r in report["scenarios"].values()) == 6
+        assert main(["report", str(out)]) == 0
+        assert "survival" in capsys.readouterr().out
+
+    def test_cli_unknown_scenario_exits_2(self, tmp_path, capsys):
+        status = main(
+            [
+                "--synthetic",
+                str(tmp_path / "cache"),
+                "--out",
+                str(tmp_path / "out"),
+                "--scenarios",
+                "definitely-not-a-scenario",
+            ]
+        )
+        assert status == 2
+        assert "unknown-scenario" in capsys.readouterr().err
+
+    def test_report_without_journal_exits_2(self, tmp_path, capsys):
+        assert main(["report", str(tmp_path / "empty")]) == 2
+        assert "journal-no-header" in capsys.readouterr().err

@@ -7,6 +7,7 @@ import json
 import numpy as np
 import pytest
 
+from polygraphmr.errors import ConfigError
 from polygraphmr.faults import (
     FaultSpec,
     build_synthetic_model,
@@ -17,6 +18,7 @@ from polygraphmr.faults import (
     measure_degradation,
     sanitize_probs,
 )
+from polygraphmr.scenarios import get_builtin
 from polygraphmr.store import ArtifactStore
 
 
@@ -50,6 +52,22 @@ class TestInjectors:
         assert FaultSpec("gaussian", sigma=0.1, seed=1).apply(arr).shape == (8, 8)
         with pytest.raises(ValueError):
             FaultSpec("rowhammer").apply(arr)
+
+    def test_fault_spec_validates_at_construction(self):
+        with pytest.raises(ConfigError) as exc_info:
+            FaultSpec("rowhammer")
+        assert exc_info.value.field == "fault.kind"
+        assert "bitflip" in str(exc_info.value)  # lists the known kinds
+        with pytest.raises(ConfigError) as exc_info:
+            FaultSpec("bitflip", rate=1.5)
+        assert exc_info.value.field == "fault.rate"
+        assert exc_info.value.reason == "out-of-range"
+        with pytest.raises(ConfigError) as exc_info:
+            FaultSpec("gaussian", sigma=-0.1)
+        assert exc_info.value.field == "fault.sigma"
+        with pytest.raises(ConfigError) as exc_info:
+            FaultSpec("bitflip", rate=float("nan"))
+        assert exc_info.value.reason == "bad-type"
 
     def test_sanitize_repairs_bitflipped_probs(self):
         probs = np.full((32, 10), 0.1, dtype=np.float32)
@@ -92,6 +110,28 @@ class TestDegradationMeasurement:
         spec = FaultSpec("gaussian", sigma=0.0, seed=0)
         report = measure_degradation(synthetic_store, "tinynet", spec, seed=0)
         assert all(abs(v) < 1e-9 for v in report["delta"].values())
+        assert report["override"]["clean"] == report["override"]["faulted"]
+        assert report["degraded"] is False
+
+    def test_scenario_fault_measures_degradation(self, synthetic_store):
+        fault = get_builtin("channel-bitflip-10pct").fault(21)
+        report = measure_degradation(synthetic_store, "tinynet", fault, seed=0)
+        assert report["fault"]["scenario"] == "channel-bitflip-10pct"
+        assert report["fault"]["scenario_sha256"]
+        assert 0.0 <= report["override"]["faulted"] <= 1.0
+        again = measure_degradation(synthetic_store, "tinynet", fault, seed=0)
+        assert report == again
+
+    def test_weights_target_perturbs_the_gate_not_the_inputs(self, synthetic_store):
+        fault = get_builtin("gate-weights-bitflip-1").fault(4)
+        report = measure_degradation(synthetic_store, "tinynet", fault, seed=0)
+        # inputs stay clean, so clean targets == faulted targets: n agrees
+        assert report["clean"]["n"] == report["faulted"]["n"]
+        # and the module is restored: a second clean measurement is unchanged
+        clean_again = measure_degradation(
+            synthetic_store, "tinynet", FaultSpec("gaussian", sigma=0.0), seed=0
+        )
+        assert clean_again["clean"] == report["clean"]
 
 
 class TestCLI:
@@ -123,6 +163,40 @@ class TestCLI:
         out = json.loads(capsys.readouterr().out)
         assert rc == 0
         assert out["reports"][0]["fault"]["kind"] == "gaussian"
+
+    def test_json_report_includes_scenario_identity(self, tmp_path, capsys):
+        rc = main(
+            ["--synthetic", str(tmp_path / "demo"), "--scenario", "quantize-4bit", "--json"]
+        )
+        out = json.loads(capsys.readouterr().out)
+        assert rc == 0
+        assert out["schema"] == "polygraphmr/faults-report/v1"
+        assert out["scenario"]["name"] == "quantize-4bit"
+        assert len(out["scenario"]["sha256"]) == 64
+        assert out["fault"]["scenario_sha256"] == out["scenario"]["sha256"]
+        (report,) = out["reports"]
+        assert report["fault"]["scenario"] == "quantize-4bit"
+
+    def test_json_report_without_scenario_has_null_scenario(self, tmp_path, capsys):
+        rc = main(["--synthetic", str(tmp_path / "demo"), "--kind", "gaussian", "--json"])
+        out = json.loads(capsys.readouterr().out)
+        assert rc == 0
+        assert out["scenario"] is None
+        assert out["fault"]["kind"] == "gaussian"
+
+    def test_unknown_scenario_exits_2_with_library_listing(self, tmp_path, capsys):
+        rc = main(["--synthetic", str(tmp_path / "demo"), "--scenario", "nope"])
+        assert rc == 2
+        assert "quantize-4bit" in capsys.readouterr().err
+
+    def test_list_scenarios(self, capsys):
+        assert main(["--list-scenarios"]) == 0
+        out = capsys.readouterr().out
+        assert "channel-bitflip-10pct" in out
+        assert main(["--list-scenarios", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["schema"] == "polygraphmr/scenario-library/v1"
+        assert len(payload["scenarios"]) >= 8
 
     def test_store_quarantines_synthetic_truncation_end_to_end(self, tmp_path):
         """Artifact-level injector + store: the full robustness loop."""

@@ -109,6 +109,40 @@ class TestSerialParallelEquivalence:
             assert audit["ok"], (out, audit["first_bad"])
             assert audit["complete"] and audit["trials"] == N_TRIALS
 
+    def test_scenario_sweep_is_byte_identical_across_workers(self, multi_model_cache, tmp_path):
+        """A 3-scenario sweep inherits the guarantee unchanged: the scenario
+        draw lives in derive_trial_spec, so workers=4 produces the same
+        journal and checkpoint bytes as a serial run, and the merged
+        directory still verifies exit 0."""
+
+        from polygraphmr.campaign import scenarios_config_field
+        from polygraphmr.scenarios import resolve_scenarios
+
+        config = _config(
+            multi_model_cache,
+            n_trials=12,
+            scenarios=scenarios_config_field(
+                resolve_scenarios(["channel-bitflip-10pct", "quantize-4bit", "stuck-at-zero-1pct"])
+            ),
+        )
+        serial = CampaignRunner(config, tmp_path / "serial").run()
+        four = ParallelCampaignRunner(config, tmp_path / "w4", workers=4).run()
+
+        assert (tmp_path / "w4" / JOURNAL_NAME).read_bytes() == (
+            tmp_path / "serial" / JOURNAL_NAME
+        ).read_bytes()
+        assert (tmp_path / "w4" / CHECKPOINT_NAME).read_bytes() == (
+            tmp_path / "serial" / CHECKPOINT_NAME
+        ).read_bytes()
+        assert four["completed"] == serial["completed"] == 12
+        audit = verify_campaign(tmp_path / "w4")
+        assert audit["exit_code"] == 0, audit["first_bad"]
+        specs = [
+            r["spec"]
+            for r in CampaignJournal(tmp_path / "w4" / JOURNAL_NAME).trial_records().values()
+        ]
+        assert all(s.get("scenario") and s.get("scenario_sha256") for s in specs)
+
     def test_equivalence_survives_tripping_breakers(self, multi_model_cache, tmp_path):
         """Corrupt one member of one model so its circuit breaker trips
         mid-campaign: breaker evolution is per-model, so the parallel journal
