@@ -7,9 +7,13 @@ latency, verified-once artifact-cache statistics (hit rate, loads
 avoided, bytes held — all read from the campaign's merged out-of-band
 ``metrics.json``), a journal-chaining micro-benchmark (records/sec
 through the v3 hash-chained append path vs the v2-style seal-only path,
-fsync and all), and a declarative scenario-sweep timing row (serial vs the
+fsync and all), a declarative scenario-sweep timing row (serial vs the
 largest worker count over three built-in scenarios, byte-identity checked),
-and emits ``BENCH_campaign.json``::
+and a batched-engine section: equivalence rows proving batch sizes 1/16/64
+leave the journal byte-identical to the per-trial loop, plus throughput
+rows (``--batched-trials``, larger so startup stops dominating) whose
+speedup over this run's own per-trial rows is gated by
+``--min-batched-speedup``.  Emits ``BENCH_campaign.json``::
 
     PYTHONPATH=src python scripts/bench_campaign.py --seed 7 --workers 4
 
@@ -55,7 +59,7 @@ from polygraphmr.journal import (  # noqa: E402
 )
 from polygraphmr.metrics import load_registry  # noqa: E402
 
-SCHEMA = "polygraphmr/bench-campaign/v4"
+SCHEMA = "polygraphmr/bench-campaign/v5"
 ENV = {"PYTHONPATH": str(REPO_ROOT / "src")}
 QUANTILES = (("p50", 0.50), ("p95", 0.95), ("p99", 0.99))
 BENCH_SCENARIOS = ("channel-bitflip-10pct", "quantize-4bit", "stuck-at-zero-1pct")
@@ -69,7 +73,14 @@ def parse_workers(text: str) -> tuple[int, ...]:
 
 
 def campaign_cmd(
-    cache: Path, out: Path, metrics_json: Path, args, workers: int, scenarios: tuple[str, ...] = ()
+    cache: Path,
+    out: Path,
+    metrics_json: Path,
+    args,
+    workers: int,
+    scenarios: tuple[str, ...] = (),
+    batch_size: int | None = None,
+    trials: int | None = None,
 ) -> list[str]:
     cmd = [
         sys.executable,
@@ -80,7 +91,7 @@ def campaign_cmd(
         "--out",
         str(out),
         "--trials",
-        str(args.trials),
+        str(args.trials if trials is None else trials),
         "--seed",
         str(args.seed),
         "--timeout",
@@ -94,16 +105,28 @@ def campaign_cmd(
     ]
     if scenarios:
         cmd += ["--scenarios", ",".join(scenarios)]
+    # batch_size None pins the per-trial loop so legacy rows keep measuring
+    # the journal/fan-out machinery and stay comparable release to release
+    cmd += ["--no-batch"] if batch_size is None else ["--batch-size", str(batch_size)]
     return cmd
 
 
-def run_one(cache: Path, out: Path, args, workers: int, scenarios: tuple[str, ...] = ()) -> dict:
+def run_one(
+    cache: Path,
+    out: Path,
+    args,
+    workers: int,
+    scenarios: tuple[str, ...] = (),
+    batch_size: int | None = None,
+    trials: int | None = None,
+) -> dict:
     """One timed campaign run -> a bench ``runs[]`` entry (sans speedup)."""
 
+    trials = args.trials if trials is None else trials
     metrics_json = out.with_suffix(".metrics.json")
     start = time.monotonic()
     proc = subprocess.run(
-        campaign_cmd(cache, out, metrics_json, args, workers, scenarios),
+        campaign_cmd(cache, out, metrics_json, args, workers, scenarios, batch_size, trials),
         env=ENV,
         capture_output=True,
         text=True,
@@ -114,14 +137,14 @@ def run_one(cache: Path, out: Path, args, workers: int, scenarios: tuple[str, ..
             f"FAIL: workers={workers} campaign exited {proc.returncode}: {proc.stderr}"
         )
     summary = json.loads(proc.stdout)
-    if summary["completed"] != args.trials:
-        raise SystemExit(f"FAIL: workers={workers} completed {summary['completed']}/{args.trials}")
+    if summary["completed"] != trials:
+        raise SystemExit(f"FAIL: workers={workers} completed {summary['completed']}/{trials}")
 
     registry = load_registry(metrics_json)
     if registry is None:
         raise SystemExit(f"FAIL: workers={workers} wrote no readable metrics at {metrics_json}")
     hist = registry.histogram_for("campaign_trial_seconds")
-    if hist is None or hist.count != args.trials:
+    if hist is None or hist.count != trials:
         raise SystemExit(f"FAIL: workers={workers} trial histogram missing or short: {hist}")
 
     # verified-once cache statistics (negative hits are hits: a remembered
@@ -137,7 +160,7 @@ def run_one(cache: Path, out: Path, args, workers: int, scenarios: tuple[str, ..
     return {
         "workers": workers,
         "wall_s": round(wall_s, 4),
-        "trials_per_s": round(args.trials / wall_s, 4),
+        "trials_per_s": round(trials / wall_s, 4),
         "trial_latency_s": {name: hist.quantile(q) for name, q in QUANTILES},
         "trial_latency_mean_s": round(hist.sum / hist.count, 6),
         "journal_sha256": hashlib.sha256(journal).hexdigest(),
@@ -201,6 +224,96 @@ def bench_scenario_sweep(tmp: Path, cache: Path, args) -> dict:
         f"{entry['speedup_vs_serial']:.2f}x) over {len(BENCH_SCENARIOS)} scenarios"
     )
     return {"scenarios": list(BENCH_SCENARIOS), "runs": [serial, entry]}
+
+
+def bench_batched(tmp: Path, cache: Path, args, legacy_runs: list[dict]) -> dict:
+    """The vectorized batch engine, two ways.
+
+    *Equivalence rows* rerun the legacy workload (``--trials``) under batch
+    sizes 1/16/64, serially and at the largest worker count, and require
+    every journal byte-identical to the legacy serial reference — batching
+    must be invisible on disk.  *Throughput rows* scale the same workload to
+    ``--batched-trials`` so startup stops dominating, and report speedup
+    against this run's own per-trial-loop rows (same sleep padding, same
+    trial semantics) — the number the ``--min-batched-speedup`` gate holds.
+    """
+
+    bench_dir = tmp / "batched"
+    reference = next(r for r in legacy_runs if r["workers"] == 1)
+    biggest = max(args.workers)
+    legacy_by_workers = {r["workers"]: r for r in legacy_runs}
+
+    equivalence = []
+    for workers, batch_size in ((1, 1), (1, 16), (biggest, 16), (biggest, 64)):
+        entry = run_one(
+            cache,
+            bench_dir / f"eq-w{workers}-b{batch_size}",
+            args,
+            workers=workers,
+            batch_size=batch_size,
+        )
+        if entry["journal_sha256"] != reference["journal_sha256"]:
+            raise SystemExit(
+                f"FAIL: batched workers={workers} batch_size={batch_size} journal differs "
+                "from the per-trial serial reference (batching leaked into the bytes)"
+            )
+        equivalence.append(
+            {
+                "workers": workers,
+                "batch_size": batch_size,
+                "wall_s": entry["wall_s"],
+                "trials_per_s": entry["trials_per_s"],
+                "journal_sha256": entry["journal_sha256"],
+            }
+        )
+        print(
+            f"[batched] eq workers={workers} batch={batch_size}: {entry['wall_s']:.2f}s "
+            f"({entry['trials_per_s']:.2f} trials/s, journal identical)"
+        )
+
+    throughput = []
+    throughput_sha = None
+    for workers, batch_size in ((1, 64), (biggest, 64)):
+        entry = run_one(
+            cache,
+            bench_dir / f"tp-w{workers}-b{batch_size}",
+            args,
+            workers=workers,
+            batch_size=batch_size,
+            trials=args.batched_trials,
+        )
+        if throughput_sha is None:
+            throughput_sha = entry["journal_sha256"]
+        elif entry["journal_sha256"] != throughput_sha:
+            raise SystemExit(
+                f"FAIL: batched throughput workers={workers} journal differs across "
+                "worker counts (determinism broken; timings are meaningless)"
+            )
+        legacy = legacy_by_workers.get(workers)
+        speedup = (
+            round(entry["trials_per_s"] / legacy["trials_per_s"], 4) if legacy else None
+        )
+        throughput.append(
+            {
+                "workers": workers,
+                "batch_size": batch_size,
+                "trials": args.batched_trials,
+                "wall_s": entry["wall_s"],
+                "trials_per_s": entry["trials_per_s"],
+                "journal_sha256": entry["journal_sha256"],
+                "speedup_vs_serial_loop": speedup,
+            }
+        )
+        print(
+            f"[batched] tp workers={workers} batch={batch_size} trials={args.batched_trials}: "
+            f"{entry['wall_s']:.2f}s ({entry['trials_per_s']:.2f} trials/s"
+            + (f", {speedup:.1f}x vs per-trial loop)" if speedup else ")")
+        )
+    return {
+        "batch_sizes": [1, 16, 64],
+        "equivalence": {"trials": args.trials, "runs": equivalence},
+        "throughput": {"trials": args.batched_trials, "runs": throughput},
+    }
 
 
 def _overhead_record(index: int) -> dict:
@@ -314,6 +427,19 @@ def validate_bench(payload: dict) -> None:
         for key in ("workers", "wall_s", "trials_per_s", "speedup_vs_serial"):
             if not isinstance(run.get(key), (int, float)):
                 raise ValueError(f"scenario_sweep.runs[].{key} must be a number")
+    batched = payload.get("batched")
+    if not isinstance(batched, dict):
+        raise ValueError("batched must be an object")
+    for section in ("equivalence", "throughput"):
+        block = batched.get(section)
+        if not isinstance(block, dict) or not isinstance(block.get("runs"), list) or not block["runs"]:
+            raise ValueError(f"batched.{section}.runs must be a non-empty list")
+        if not isinstance(block.get("trials"), int):
+            raise ValueError(f"batched.{section}.trials must be an integer")
+        for run in block["runs"]:
+            for key in ("workers", "batch_size", "wall_s", "trials_per_s"):
+                if not isinstance(run.get(key), (int, float)):
+                    raise ValueError(f"batched.{section}.runs[].{key} must be a number")
 
 
 def gate_against_baseline(runs: list[dict], baseline: dict, max_regression: float) -> list[str]:
@@ -332,6 +458,42 @@ def gate_against_baseline(runs: list[dict], baseline: dict, max_regression: floa
                 f"workers={run['workers']}: {run['trials_per_s']:.2f} trials/s "
                 f"< floor {floor:.2f} (baseline {base['trials_per_s']:.2f}, "
                 f"max regression {max_regression:.0%})"
+            )
+    return failures
+
+
+def gate_batched(batched: dict, baseline: dict, max_regression: float, min_speedup: float) -> list[str]:
+    """The batched-engine gates: throughput rows vs the committed baseline's
+    matching ``(workers, batch_size)`` rows, plus an absolute floor — the
+    largest batched run must beat this run's own per-trial loop by at least
+    ``min_speedup``× (the whole point of the batch engine)."""
+
+    failures = []
+    base_rows = {
+        (r.get("workers"), r.get("batch_size")): r
+        for r in (baseline or {}).get("batched", {}).get("throughput", {}).get("runs", [])
+    }
+    for run in batched["throughput"]["runs"]:
+        base = base_rows.get((run["workers"], run["batch_size"]))
+        if base is not None:
+            floor = base["trials_per_s"] * (1.0 - max_regression)
+            if run["trials_per_s"] < floor:
+                failures.append(
+                    f"batched workers={run['workers']} batch={run['batch_size']}: "
+                    f"{run['trials_per_s']:.2f} trials/s < floor {floor:.2f} "
+                    f"(baseline {base['trials_per_s']:.2f})"
+                )
+    if min_speedup > 0:
+        best = max(
+            (r for r in batched["throughput"]["runs"] if r.get("speedup_vs_serial_loop")),
+            key=lambda r: r["speedup_vs_serial_loop"],
+            default=None,
+        )
+        if best is None or best["speedup_vs_serial_loop"] < min_speedup:
+            got = best["speedup_vs_serial_loop"] if best else 0.0
+            failures.append(
+                f"batched speedup {got:.1f}x < required {min_speedup:.1f}x vs the "
+                "per-trial loop (batch engine regressed)"
             )
     return failures
 
@@ -394,6 +556,20 @@ def main(argv: list[str] | None = None) -> int:
         help="fail if the largest parallel run's artifact-cache hit rate "
         "falls below this floor (default: 0.90; <=0 disables)",
     )
+    parser.add_argument(
+        "--batched-trials",
+        type=int,
+        default=512,
+        help="trial count for the batched throughput rows (default: 512; "
+        "large enough that process startup stops dominating)",
+    )
+    parser.add_argument(
+        "--min-batched-speedup",
+        type=float,
+        default=10.0,
+        help="fail unless the best batched throughput row beats this run's "
+        "own per-trial loop by this factor (default: 10.0; <=0 disables)",
+    )
     args = parser.parse_args(argv)
 
     tmp = Path(tempfile.mkdtemp(prefix="polygraphmr-bench-"))
@@ -404,12 +580,15 @@ def main(argv: list[str] | None = None) -> int:
     runs = run_sweep(tmp, cache, args, "sweep")
     journal_overhead = bench_journal_overhead(tmp)
     scenario_sweep = bench_scenario_sweep(tmp, cache, args)
+    batched = bench_batched(tmp, cache, args, runs)
 
     baseline = None
+    raw_baseline = None
     if args.baseline:
         baseline_path = Path(args.baseline)
         if baseline_path.is_file():
-            baseline = json.loads(baseline_path.read_text(encoding="utf-8"))
+            raw_baseline = json.loads(baseline_path.read_text(encoding="utf-8"))
+            baseline = raw_baseline
             try:
                 validate_bench(baseline)
             except ValueError as exc:
@@ -417,6 +596,27 @@ def main(argv: list[str] | None = None) -> int:
                 baseline = None
         else:
             print(f"note: baseline {baseline_path} not found; gate skipped")
+
+    # report the headline number against whatever baseline is committed,
+    # even one from an older schema: the committed per-trial-loop rows are
+    # directly comparable with the batched throughput rows (same sleep
+    # padding, same trial semantics, just more trials)
+    if raw_baseline is not None:
+        committed_by_workers = {
+            r.get("workers"): r
+            for r in raw_baseline.get("runs", [])
+            if isinstance(r, dict) and isinstance(r.get("trials_per_s"), (int, float))
+        }
+        for row in batched["throughput"]["runs"]:
+            committed = committed_by_workers.get(row["workers"])
+            if committed:
+                row["speedup_vs_committed"] = round(
+                    row["trials_per_s"] / committed["trials_per_s"], 4
+                )
+                print(
+                    f"[batched] workers={row['workers']}: {row['speedup_vs_committed']:.1f}x "
+                    f"the committed baseline ({committed['trials_per_s']:.2f} trials/s)"
+                )
 
     failures = gate_against_baseline(runs, baseline, args.max_regression) if baseline else []
     if failures:
@@ -433,6 +633,7 @@ def main(argv: list[str] | None = None) -> int:
 
     if args.min_cache_hit_rate > 0:
         failures += gate_cache_hit_rate(runs, args.min_cache_hit_rate)
+    failures += gate_batched(batched, baseline, args.max_regression, args.min_batched_speedup)
 
     payload = {
         "schema": SCHEMA,
@@ -445,6 +646,7 @@ def main(argv: list[str] | None = None) -> int:
         "runs": runs,
         "journal": journal_overhead,
         "scenario_sweep": scenario_sweep,
+        "batched": batched,
         "host": {
             "python": platform.python_version(),
             "platform": sys.platform,

@@ -21,6 +21,10 @@ Three phases, all against the same 4-model synthetic cache::
    a straight serial run and a ``--workers 4`` run, audited with ``verify``
    (exit 0), and its ``report`` must reconcile per-scenario trial counts
    exactly with the journal.
+5. **Batched identity** — ``--batch-size 8`` reruns the phase-1 campaign
+   through the vectorized batch engine, serially and with 4 workers; both
+   journals and checkpoints must be byte-identical to the per-trial serial
+   reference and verify exit 0.
 
 Every phase boundary is additionally audited with ``python -m
 polygraphmr.campaign verify`` — after the serial run, after the shard
@@ -61,7 +65,13 @@ SCENARIOS = ("channel-bitflip-10pct", "quantize-4bit", "stuck-at-zero-1pct")
 
 
 def campaign_cmd(
-    cache: Path, out: Path, *, workers: int, resume: bool = False, scenarios: bool = False
+    cache: Path,
+    out: Path,
+    *,
+    workers: int,
+    resume: bool = False,
+    scenarios: bool = False,
+    batch_size: int | None = None,
 ) -> list[str]:
     cmd = [
         sys.executable,
@@ -88,13 +98,19 @@ def campaign_cmd(
         cmd += ["--scenarios", ",".join(SCENARIOS)]
     if resume:
         cmd.append("--resume")
+    # the timing/kill phases measure the per-trial executor: speedup floors
+    # and mid-run kill windows assume one sleep per trial, which the batch
+    # engine deliberately amortizes away -- so batching is opt-in here
+    cmd += ["--no-batch"] if batch_size is None else ["--batch-size", str(batch_size)]
     return cmd
 
 
-def timed_run(cache: Path, out: Path, *, workers: int, scenarios: bool = False) -> tuple[float, dict]:
+def timed_run(
+    cache: Path, out: Path, *, workers: int, scenarios: bool = False, batch_size: int | None = None
+) -> tuple[float, dict]:
     start = time.monotonic()
     proc = subprocess.run(
-        campaign_cmd(cache, out, workers=workers, scenarios=scenarios),
+        campaign_cmd(cache, out, workers=workers, scenarios=scenarios, batch_size=batch_size),
         env=ENV,
         capture_output=True,
         text=True,
@@ -301,11 +317,35 @@ def phase_scenario_sweep(tmp: Path) -> None:
     print(f"OK: report reconciles with the journal: {per_scenario} == {journalled} trial(s)")
 
 
+def phase_batched_identity(tmp: Path) -> None:
+    """The batch engine must be invisible on disk: batched serial and
+    batched 4-worker runs both produce journal + checkpoint bytes identical
+    to phase 1's per-trial serial reference, and verify exit 0."""
+
+    cache = tmp / "cache"
+    reference_out = tmp / "serial"  # phase 1's per-trial serial run
+    reference = (reference_out / "journal.jsonl").read_bytes()
+    reference_ckpt = (reference_out / "checkpoint.json").read_bytes()
+
+    for label, workers in (("batched-serial", 1), ("batched-4w", 4)):
+        out = tmp / label
+        _, summary = timed_run(cache, out, workers=workers, batch_size=8)
+        if summary["completed"] != N_TRIALS:
+            raise SystemExit(f"FAIL: {label} completed {summary['completed']}/{N_TRIALS}")
+        if (out / "journal.jsonl").read_bytes() != reference:
+            raise SystemExit(f"FAIL: {label} journal differs from the per-trial serial reference")
+        if (out / "checkpoint.json").read_bytes() != reference_ckpt:
+            raise SystemExit(f"FAIL: {label} checkpoint differs from the per-trial serial reference")
+        verify_dir(out, label)
+    print("OK: --batch-size 8 journals byte-identical to the per-trial loop (serial and 4-worker)")
+
+
 def main() -> int:
     tmp = Path(tempfile.mkdtemp(prefix="polygraphmr-smoke-"))
     phase_equivalence_and_speedup(tmp)
     phase_kill_and_resume(tmp)
     phase_scenario_sweep(tmp)
+    phase_batched_identity(tmp)
     return 0
 
 

@@ -50,6 +50,7 @@ from pathlib import Path
 
 import numpy as np
 
+from .batching import DEFAULT_BATCH_SIZE
 from .breaker import BreakerBoard, BreakerPolicy, merge_snapshots, non_closed_in_snapshot
 from .cache import DEFAULT_CACHE_BYTES, ArtifactCache
 from .ensemble import EnsembleRuntime
@@ -270,7 +271,9 @@ class TrialSpec:
         return out
 
 
-def derive_trial_spec(config: CampaignConfig, models: list[str], index: int) -> TrialSpec:
+def derive_trial_spec(
+    config: CampaignConfig, models: list[str], index: int, *, scenarios=None
+) -> TrialSpec:
     """Deterministically derive trial ``index``'s spec.
 
     Seeded with ``[config.seed, index]`` so any trial can be re-derived in
@@ -279,13 +282,19 @@ def derive_trial_spec(config: CampaignConfig, models: list[str], index: int) -> 
     sweep draws one scenario from the configured list per trial; the
     scenario's canonical hash rides along in the spec, so the journalled
     record pins *what* was injected, not just which name.
+
+    ``scenarios`` lets a hot loop pass the pre-resolved scenario objects
+    (see :meth:`TrialExecutor.derive_spec`) instead of re-resolving the
+    config's canonical JSON on every call.
     """
 
     if not models:
         raise CampaignError("no-models", f"cache {config.cache!r} has no model directories")
     rng = np.random.default_rng([config.seed, index])
     if config.scenarios:
-        scenario = config.scenario_objects()[int(rng.integers(len(config.scenarios)))]
+        if scenarios is None:
+            scenarios = config.scenario_objects()
+        scenario = scenarios[int(rng.integers(len(config.scenarios)))]
         return TrialSpec(
             index=index,
             model=models[index % len(models)],
@@ -482,6 +491,12 @@ class TrialExecutor:
         self.config = config
         self.models = list(models)
         self._trial_fn = trial_fn or self._run_trial
+        # a custom trial_fn has no vectorized equivalent, so only the real
+        # trial body is eligible for the batch kernel
+        self.batchable = trial_fn is None
+        # resolved once per executor: derive_spec and _scenario_for run in
+        # the hot loop and must not re-parse the config's canonical JSON
+        self.scenarios = config.scenario_objects()
         self.boards: dict[str, BreakerBoard] = {}
         self.cache = ArtifactCache(cache_bytes, plane=plane) if use_cache else None
         self._store: ArtifactStore | None = None
@@ -535,7 +550,7 @@ class TrialExecutor:
         journalled hash — a spec naming a scenario the config does not carry
         (or carrying different bytes) must never silently run something else."""
 
-        for scenario in self.config.scenario_objects():
+        for scenario in self.scenarios:
             if scenario.name == spec.scenario:
                 if scenario.config_hash() != spec.scenario_sha256:
                     raise CampaignError(
@@ -550,11 +565,23 @@ class TrialExecutor:
             f"trial {spec.index}: scenario {spec.scenario!r} is not in the campaign config",
         )
 
-    def _run_trial(self, spec: TrialSpec) -> dict:
+    def derive_spec(self, index: int) -> TrialSpec:
+        """:func:`derive_trial_spec` against this executor's pre-resolved
+        scenario objects — the hot-loop entry point."""
+
+        return derive_trial_spec(self.config, self.models, index, scenarios=self.scenarios)
+
+    def fault_for(self, spec: TrialSpec):
+        """The seeded fault object a spec describes: a scenario-pinned
+        :class:`~polygraphmr.scenarios.ScenarioFault` or a legacy
+        :class:`~polygraphmr.faults.FaultSpec`."""
+
         if spec.scenario is not None:
-            fault = self._scenario_for(spec).fault(spec.fault_seed)
-        else:
-            fault = FaultSpec(kind=spec.kind, rate=spec.rate, sigma=spec.sigma, seed=spec.fault_seed)
+            return self._scenario_for(spec).fault(spec.fault_seed)
+        return FaultSpec(kind=spec.kind, rate=spec.rate, sigma=spec.sigma, seed=spec.fault_seed)
+
+    def _run_trial(self, spec: TrialSpec) -> dict:
+        fault = self.fault_for(spec)
         return measure_degradation(
             self.store, spec.model, fault, seed=self.config.seed, runtime=self.runtime_for(spec.model)
         )
@@ -603,7 +630,7 @@ class TrialExecutor:
         """
 
         registry = get_registry()
-        spec = derive_trial_spec(self.config, self.models, index)
+        spec = self.derive_spec(index)
         with get_tracer().span(
             "campaign.trial",
             index=index,
@@ -693,6 +720,8 @@ class CampaignRunner:
         audit: dict | None = None,
         cache_bytes: int = DEFAULT_CACHE_BYTES,
         use_cache: bool = True,
+        batch_size: int = DEFAULT_BATCH_SIZE,
+        use_batch: bool = True,
     ):
         self.config = config
         self.out_dir = Path(out_dir)
@@ -705,6 +734,11 @@ class CampaignRunner:
         self.executor = TrialExecutor(
             config, self.models, trial_fn=trial_fn, cache_bytes=cache_bytes, use_cache=use_cache
         )
+        # batch settings are executor tuning like the cache: they never
+        # enter the journalled config, because batched and serial runs must
+        # produce the same bytes
+        self.batch_size = max(1, int(batch_size))
+        self.use_batch = bool(use_batch) and self.executor.batchable
 
     def request_stop(self) -> None:
         """Finish the in-flight trial, journal it, then exit the loop —
@@ -743,6 +777,42 @@ class CampaignRunner:
             self.checkpoint_path,
             checkpoint_payload(self.config, done, journal_records, chain_head),
         )
+
+    def _run_batched(
+        self, done: dict[int, dict], journal_records: int, max_new_trials: int | None
+    ) -> tuple[int, int, bool]:
+        """The batched main loop: plan windows over the pending trials, run
+        each through the :class:`~polygraphmr.batching.BatchTrialEngine`,
+        and flush every completed window to the journal in index order with
+        one fsync + one checkpoint per window.
+
+        Returns ``(new_trials, journal_records, stopped_early)`` with the
+        same semantics the serial loop reports.
+        """
+
+        from .batching import BatchTrialEngine, plan_windows
+
+        pending = [i for i in range(self.config.n_trials) if i not in done]
+        bounded = pending if max_new_trials is None else pending[: max(0, max_new_trials)]
+        stopped_early = len(bounded) < len(pending)
+        new_trials = 0
+        engine = BatchTrialEngine(self.executor, batch_size=self.batch_size)
+        for window in plan_windows(bounded, len(self.models), self.batch_size):
+            if self._stop.is_set():
+                stopped_early = True
+                break
+            records, aborted = engine.execute_window(window, stop=self._stop)
+            if records:
+                self.journal.append_many(records)
+                journal_records += len(records)
+                for record in records:
+                    done[record["index"]] = record
+                new_trials += len(records)
+                self._write_checkpoint(done, journal_records, self.journal.head)
+            if aborted:
+                stopped_early = True
+                break
+        return new_trials, journal_records, stopped_early
 
     # -- metrics (strictly out-of-band) ----------------------------------
 
@@ -803,20 +873,27 @@ class CampaignRunner:
             journal_records = 1
         self._discard_stale_metric_shards()
 
-        new_trials = 0
-        stopped_early = False
-        for index in range(self.config.n_trials):
-            if index in done:
-                continue
-            if self._stop.is_set() or (max_new_trials is not None and new_trials >= max_new_trials):
-                stopped_early = True
-                break
-            record = self.executor.execute(index)
-            self.journal.append(record)
-            journal_records += 1
-            done[index] = record
-            new_trials += 1
-            self._write_checkpoint(done, journal_records, self.journal.head)
+        if self.use_batch:
+            new_trials, journal_records, stopped_early = self._run_batched(
+                done, journal_records, max_new_trials
+            )
+        else:
+            new_trials = 0
+            stopped_early = False
+            for index in range(self.config.n_trials):
+                if index in done:
+                    continue
+                if self._stop.is_set() or (
+                    max_new_trials is not None and new_trials >= max_new_trials
+                ):
+                    stopped_early = True
+                    break
+                record = self.executor.execute(index)
+                self.journal.append(record)
+                journal_records += 1
+                done[index] = record
+                new_trials += 1
+                self._write_checkpoint(done, journal_records, self.journal.head)
 
         if not stopped_early and len(done) == self.config.n_trials and shard_journals(self.out_dir):
             # a previous parallel (or mixed) run left shards: fold everything
@@ -1370,6 +1447,19 @@ def main(argv: list[str] | None = None) -> int:
         "shared-memory plane (every load re-reads and re-validates)",
     )
     parser.add_argument(
+        "--batch-size",
+        type=int,
+        default=DEFAULT_BATCH_SIZE,
+        help="max trials per model batched through the vectorized kernel; "
+        "journal bytes are identical at every size "
+        f"(default: {DEFAULT_BATCH_SIZE})",
+    )
+    parser.add_argument(
+        "--no-batch",
+        action="store_true",
+        help="disable the batched trial kernel and run the per-trial serial loop",
+    )
+    parser.add_argument(
         "--metrics-out",
         default=None,
         help="also write the merged campaign metrics (JSON) to this path",
@@ -1442,15 +1532,20 @@ def main(argv: list[str] | None = None) -> int:
         min_members=args.min_members,
         trial_sleep_s=args.trial_sleep,
     )
-    cache_opts = {"cache_bytes": args.cache_bytes, "use_cache": not args.no_cache}
+    run_opts = {
+        "cache_bytes": args.cache_bytes,
+        "use_cache": not args.no_cache,
+        "batch_size": args.batch_size,
+        "use_batch": not args.no_batch,
+    }
     if args.workers > 1:
         from .parallel import ParallelCampaignRunner
 
         runner = ParallelCampaignRunner(
-            config, args.out, workers=args.workers, audit=audit, **cache_opts
+            config, args.out, workers=args.workers, audit=audit, **run_opts
         )
     else:
-        runner = CampaignRunner(config, args.out, audit=audit, **cache_opts)
+        runner = CampaignRunner(config, args.out, audit=audit, **run_opts)
 
     def handle_stop(_signum, _frame):
         runner.request_stop()

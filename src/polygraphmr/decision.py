@@ -16,7 +16,13 @@ import numpy as np
 
 from .metrics import get_registry
 
-__all__ = ["DetectionMetrics", "LogisticDecisionModule", "ensemble_features", "misprediction_targets"]
+__all__ = [
+    "DetectionMetrics",
+    "LogisticDecisionModule",
+    "ensemble_features",
+    "ensemble_features_batch",
+    "misprediction_targets",
+]
 
 
 @dataclass(frozen=True)
@@ -63,6 +69,29 @@ def ensemble_features(stacked: np.ndarray) -> np.ndarray:
     agreement = (votes == majority[None, :]).mean(axis=0, keepdims=True).T  # (N, 1)
     org_disagrees = (votes[0] != majority).astype(np.float64)[:, None]
     return np.concatenate([flat, entropy, max_mean, agreement, org_disagrees], axis=1)
+
+
+def ensemble_features_batch(batched: np.ndarray) -> np.ndarray:
+    """:func:`ensemble_features` over a batch of stacked tensors ``(B, M, N, C)``.
+
+    ``out[b]`` is bit-identical to ``ensemble_features(batched[b])``: every
+    statistic reduces over the member or class axis elementwise, and the
+    majority vote is recomputed as a one-hot count + argmax, which breaks
+    ties toward the lowest class exactly like ``np.bincount(...).argmax()``.
+    """
+
+    b, m, n, c = batched.shape
+    flat = np.transpose(batched, (0, 2, 1, 3)).reshape(b, n, m * c)
+    mean = batched.mean(axis=1)  # (B, N, C)
+    eps = 1e-12
+    entropy = -(mean * np.log(mean + eps)).sum(axis=2, keepdims=True)
+    max_mean = mean.max(axis=2, keepdims=True)
+    votes = batched.argmax(axis=3)  # (B, M, N)
+    counts = (votes[..., None] == np.arange(c)).sum(axis=1)  # (B, N, C) vote tallies
+    majority = counts.argmax(axis=2)  # (B, N)
+    agreement = (votes == majority[:, None, :]).mean(axis=1)[..., None]  # (B, N, 1)
+    org_disagrees = (votes[:, 0] != majority).astype(np.float64)[..., None]
+    return np.concatenate([flat, entropy, max_mean, agreement, org_disagrees], axis=2)
 
 
 def misprediction_targets(org_probs: np.ndarray, labels: np.ndarray) -> np.ndarray:

@@ -43,7 +43,9 @@ __all__ = [
     "FAULT_SPEC_KINDS",
     "FaultSpec",
     "select_fault_indices",
+    "select_fault_indices_batch",
     "apply_fault",
+    "apply_fault_batch",
     "inject_bitflips",
     "inject_bitflips_channel",
     "inject_bitflips_element",
@@ -51,8 +53,13 @@ __all__ = [
     "inject_quantize",
     "inject_stuck_at",
     "sanitize_probs",
+    "sanitize_probs_batch",
     "corrupt_file_truncate",
     "corrupt_file_header",
+    "DegradationContext",
+    "prepare_degradation",
+    "degradation_payload",
+    "degradation_report",
     "measure_degradation",
     "main",
 ]
@@ -103,6 +110,33 @@ class FaultSpec:
         if self.kind == "bitflip":
             return inject_bitflips(arr, rate=self.rate, rng=rng)
         return inject_gaussian(arr, sigma=self.sigma, rng=rng)
+
+    def apply_batch(self, stacked: np.ndarray, *, seeds=None) -> np.ndarray:
+        """Batched :meth:`apply`: ``out[b]`` is bit-identical to
+        ``FaultSpec(..., seed=seeds[b]).apply(stacked[b])``.  ``seeds``
+        defaults to ``self.seed`` for every batch slice (the per-member
+        tiling of one trial); the input is never mutated."""
+
+        stacked = np.asarray(stacked)
+        if stacked.ndim < 2:
+            raise ConfigError("fault.batch", "bad-shape", f"need a batch axis, got shape {stacked.shape}")
+        seeds = _batch_seeds(self.seed, stacked.shape[0], seeds)
+        if self.kind == "bitflip":
+            # inject_bitflips draws the same (choice, integers) stream as the
+            # tensor-surface bitflip path, including the no-draw early return
+            # when the rate rounds to zero hits
+            return apply_fault_batch(stacked, surface="tensor", kind="bitflip", rate=self.rate, seeds=seeds)
+        # inject_gaussian adds noise to the *whole* tensor (no index
+        # selection), so it gets its own full-tensor batched path
+        out = np.asarray(stacked, dtype=np.float64).copy()
+        noise_for: dict[int, np.ndarray] = {}
+        for b, seed in enumerate(seeds):
+            noise = noise_for.get(seed)
+            if noise is None:
+                rng = np.random.default_rng(seed)
+                noise = noise_for[seed] = rng.normal(0.0, self.sigma, size=out.shape[1:])
+            out[b] += noise
+        return out
 
     def describe(self) -> dict:
         """The journalled ``fault`` stanza of a degradation report."""
@@ -178,6 +212,44 @@ def select_fault_indices(
     raise ConfigError("scenario.surface", "unknown-surface", f"got {surface!r}; known surfaces: {', '.join(SURFACES)}")
 
 
+def _batch_seeds(default: int, n: int, seeds) -> list[int]:
+    if seeds is None:
+        return [int(default)] * n
+    seeds = [int(s) for s in seeds]
+    if len(seeds) != n:
+        raise ConfigError(
+            "fault.seeds", "bad-shape", f"got {len(seeds)} seeds for a batch of {n}"
+        )
+    return seeds
+
+
+def select_fault_indices_batch(
+    shape: tuple[int, ...], surface: str, *, rate: float = 0.0, count: int = 0, seeds
+) -> np.ndarray:
+    """Per-trial fault selections for a batch, one row per seed.
+
+    Row ``b`` equals ``select_fault_indices(shape, surface, ...,
+    rng=np.random.default_rng(seeds[b]))`` exactly — each seed gets its own
+    independent ``Generator`` stream so the draws replay the serial ones
+    bit-for-bit.  The row width is uniform across the batch because the
+    selection *count* is a pure function of ``(shape, surface, rate/count)``;
+    draws are memoized per unique seed, so the per-member tiling of one
+    trial (every member shares the trial's fault seed) draws only once.
+    """
+
+    rows: dict[int, np.ndarray] = {}
+    out = []
+    for seed in (int(s) for s in seeds):
+        row = rows.get(seed)
+        if row is None:
+            rng = np.random.default_rng(seed)
+            row = rows[seed] = select_fault_indices(shape, surface, rate=rate, count=count, rng=rng)
+        out.append(row)
+    if not out:
+        return np.empty((0, 0), dtype=np.int64)
+    return np.stack(out, axis=0)
+
+
 def apply_fault(
     arr: np.ndarray,
     *,
@@ -221,6 +293,81 @@ def apply_fault(
         flat[idx] = 1.0
     else:
         raise ConfigError("scenario.kind", "unknown-kind", f"got {kind!r}; known kinds: {', '.join(FAULT_MODELS)}")
+    return out
+
+
+def apply_fault_batch(
+    stacked: np.ndarray,
+    *,
+    surface: str,
+    kind: str,
+    rate: float = 0.0,
+    sigma: float = 0.0,
+    step: float = 0.0,
+    count: int = 0,
+    seeds,
+) -> np.ndarray:
+    """:func:`apply_fault` with a leading batch axis; the input is never
+    mutated.
+
+    ``out[b]`` is bit-identical to ``apply_fault(stacked[b], ...,
+    rng=np.random.default_rng(seeds[b]))``.  The random draws (index
+    selection plus bit positions / noise values) must replay each seed's
+    serial ``Generator`` stream, so those stay per-seed — memoized per
+    *unique* seed, which makes the per-member tiling of one trial draw
+    once, not once per member — while the dtype conversion and the element
+    mutations run as single vectorized operations across the whole batch.
+    """
+
+    stacked = np.asarray(stacked)
+    if stacked.ndim < 2:
+        raise ConfigError("fault.batch", "bad-shape", f"need a batch axis, got shape {stacked.shape}")
+    n_batch = stacked.shape[0]
+    seeds = _batch_seeds(0, n_batch, seeds)
+    if kind == "bitflip":
+        out = np.ascontiguousarray(stacked, dtype=np.float32).copy()
+    elif kind in ("gaussian", "quantize", "stuck0", "stuck1"):
+        out = np.asarray(stacked, dtype=np.float64).copy()
+    else:
+        raise ConfigError("scenario.kind", "unknown-kind", f"got {kind!r}; known kinds: {', '.join(FAULT_MODELS)}")
+    if n_batch == 0 or out[0].size == 0:
+        return out
+
+    # replay each unique seed's serial draw sequence: selection first, then
+    # the value draws, in exactly the order apply_fault makes them
+    draws: dict[int, tuple[np.ndarray, np.ndarray | None]] = {}
+    for seed in seeds:
+        if seed in draws:
+            continue
+        rng = np.random.default_rng(seed)
+        idx = select_fault_indices(out.shape[1:], surface, rate=rate, count=count, rng=rng)
+        vals: np.ndarray | None = None
+        if idx.size:
+            if kind == "bitflip":
+                vals = rng.integers(0, 32, size=idx.size, dtype=np.uint32)
+            elif kind == "gaussian":
+                vals = rng.normal(0.0, sigma, size=idx.size)
+        draws[seed] = (idx, vals)
+
+    if not draws[seeds[0]][0].size:
+        # selection count is shape-determined, so it is empty for every seed
+        return out
+
+    flat = out.reshape(n_batch, -1)
+    idx_all = np.stack([draws[s][0] for s in seeds], axis=0)
+    batch_rows = np.arange(n_batch)[:, None]
+    if kind == "bitflip":
+        bits_all = np.stack([draws[s][1] for s in seeds], axis=0)
+        flat.view(np.uint32)[batch_rows, idx_all] ^= np.uint32(1) << bits_all
+    elif kind == "gaussian":
+        noise_all = np.stack([draws[s][1] for s in seeds], axis=0)
+        flat[batch_rows, idx_all] += noise_all
+    elif kind == "quantize":
+        flat[batch_rows, idx_all] = np.round(flat[batch_rows, idx_all] / step) * step
+    elif kind == "stuck0":
+        flat[batch_rows, idx_all] = 0.0
+    else:
+        flat[batch_rows, idx_all] = 1.0
     return out
 
 
@@ -270,6 +417,24 @@ def sanitize_probs(arr: np.ndarray) -> np.ndarray:
     return out / sums
 
 
+def sanitize_probs_batch(arr: np.ndarray) -> np.ndarray:
+    """:func:`sanitize_probs` over any number of leading batch axes.
+
+    Rows live on the *last* axis, so for a stack of probability matrices
+    ``out[b] == sanitize_probs(arr[b])`` bit-for-bit (the clip, the dead-row
+    uniform fill, and the renormalising divide are all elementwise)."""
+
+    out = np.asarray(arr, dtype=np.float64).copy()
+    out[~np.isfinite(out)] = 0.0
+    np.clip(out, 0.0, 1.0, out=out)
+    sums = out.sum(axis=-1, keepdims=True)
+    dead = sums <= 0.0
+    if dead.any():
+        out = np.where(dead, 1.0 / out.shape[-1], out)
+        sums = np.where(dead, 1.0, sums)
+    return out / sums
+
+
 def corrupt_file_truncate(src: str | Path, dst: str | Path, *, keep_fraction: float, seed: int = 0) -> Path:
     """Copy ``src`` to ``dst`` keeping head and tail but cutting bytes from the
     middle — the same damage pattern observed in the seed cache."""
@@ -295,6 +460,133 @@ def corrupt_file_header(src: str | Path, dst: str | Path, *, n_bytes: int = 4, s
     with open(dst, "r+b") as fh:
         fh.write(bytes(int(b) for b in rng.integers(0, 256, size=n_bytes)))
     return dst
+
+
+@dataclass
+class DegradationContext:
+    """The fault-independent half of a degradation measurement: assembled
+    test stack, fitted decision module, and clean-split metrics for one
+    model.  Prepared once and shared across every fault evaluated against
+    the same (model, breaker-steady) state — the batch kernel's amortized
+    work; :func:`degradation_report` supplies the per-fault half."""
+
+    model: str
+    members: list[str]
+    degraded: bool
+    module: LogisticDecisionModule
+    org_i: int
+    test_labels: np.ndarray
+    test_stack: np.ndarray
+    clean_features: np.ndarray
+    clean_targets: np.ndarray
+    clean_flags: np.ndarray
+    clean: "object"
+
+
+def prepare_degradation(
+    store: ArtifactStore,
+    model: str,
+    *,
+    members: list[str] | None = None,
+    seed: int = 0,
+    runtime: EnsembleRuntime | None = None,
+    tick: bool = True,
+) -> DegradationContext:
+    """Assemble, fit, and measure the clean baseline for one model.
+
+    ``tick=False`` skips the breaker-board tick — the batch kernel ticks
+    once per *trial* itself, so its one shared context prep must not
+    advance the board.
+    """
+
+    if runtime is None:
+        runtime = EnsembleRuntime(store, seed=seed)
+    if tick and runtime.breakers is not None:
+        runtime.breakers.tick()
+    plan = members if members is not None else runtime.member_plan(model)
+    val = runtime.assemble(model, "val", members=plan)
+    test = runtime.assemble(model, "test", members=plan)
+    common = [s for s in val.members if s in set(test.members)]
+    if "ORG" not in common:
+        raise ValueError(f"model {model!r}: ORG did not survive validation; cannot define targets")
+    val_stack = np.stack([val.stacked[val.members.index(s)] for s in common], axis=0)
+    test_stack = np.stack([test.stacked[test.members.index(s)] for s in common], axis=0)
+
+    val_labels = store.load_labels(model, "val")
+    test_labels = store.load_labels(model, "test")
+    if val_labels is None or test_labels is None:
+        raise ValueError(f"model {model!r}: labels required to measure detection quality")
+
+    module = LogisticDecisionModule(seed=seed)
+    org_i = common.index("ORG")
+    module.fit(ensemble_features(val_stack), misprediction_targets(val_stack[org_i], val_labels))
+
+    clean_features = ensemble_features(test_stack)
+    clean_targets = misprediction_targets(test_stack[org_i], test_labels)
+    clean_flags = module.predict(clean_features)
+    clean = module.evaluate(clean_features, clean_targets)
+    return DegradationContext(
+        model=model,
+        members=common,
+        degraded=bool(val.degraded or test.degraded),
+        module=module,
+        org_i=org_i,
+        test_labels=test_labels,
+        test_stack=test_stack,
+        clean_features=clean_features,
+        clean_targets=clean_targets,
+        clean_flags=clean_flags,
+        clean=clean,
+    )
+
+
+def degradation_payload(ctx: DegradationContext, spec, faulted, faulted_flags: np.ndarray) -> dict:
+    """The journalled report dict for one fault against a prepared context.
+
+    Shared by the serial path and the batch kernel so both emit the same
+    bytes for the same metric values."""
+
+    return {
+        "model": ctx.model,
+        "members": ctx.members,
+        "degraded": ctx.degraded,
+        "fault": spec.describe(),
+        "clean": ctx.clean.to_dict(),
+        "faulted": faulted.to_dict(),
+        # the gate "overrides" ORG wherever it flags a misprediction; the
+        # flag rate under fault is the ensemble's override pressure
+        "override": {
+            "clean": round(float(ctx.clean_flags.mean()), 6),
+            "faulted": round(float(faulted_flags.mean()), 6),
+        },
+        "delta": {
+            k: round(faulted.to_dict()[k] - ctx.clean.to_dict()[k], 6)
+            for k in ("accuracy", "precision", "recall", "f1", "auc")
+        },
+    }
+
+
+def degradation_report(ctx: DegradationContext, spec) -> dict:
+    """Evaluate one fault spec against a prepared context (serial path)."""
+
+    module = ctx.module
+    if getattr(spec, "target", "probs") == "weights":
+        pristine = module.w
+        try:
+            module.w = np.asarray(spec.apply(pristine), dtype=np.float64)
+            faulted_flags = module.predict(ctx.clean_features)
+            faulted = module.evaluate(ctx.clean_features, ctx.clean_targets)
+        finally:
+            module.w = pristine
+    else:
+        faulted_stack = np.stack(
+            [sanitize_probs(spec.apply(ctx.test_stack[i])) for i in range(len(ctx.members))], axis=0
+        )
+        faulted_features = ensemble_features(faulted_stack)
+        faulted_targets = misprediction_targets(faulted_stack[ctx.org_i], ctx.test_labels)
+        faulted_flags = module.predict(faulted_features)
+        faulted = module.evaluate(faulted_features, faulted_targets)
+    return degradation_payload(ctx, spec, faulted, faulted_flags)
 
 
 def measure_degradation(
@@ -325,65 +617,8 @@ def measure_degradation(
     accumulates state over trials instead of resetting every time.
     """
 
-    if runtime is None:
-        runtime = EnsembleRuntime(store, seed=seed)
-    if runtime.breakers is not None:
-        runtime.breakers.tick()
-    plan = members if members is not None else runtime.member_plan(model)
-    val = runtime.assemble(model, "val", members=plan)
-    test = runtime.assemble(model, "test", members=plan)
-    common = [s for s in val.members if s in set(test.members)]
-    if "ORG" not in common:
-        raise ValueError(f"model {model!r}: ORG did not survive validation; cannot define targets")
-    val_stack = np.stack([val.stacked[val.members.index(s)] for s in common], axis=0)
-    test_stack = np.stack([test.stacked[test.members.index(s)] for s in common], axis=0)
-
-    val_labels = store.load_labels(model, "val")
-    test_labels = store.load_labels(model, "test")
-    if val_labels is None or test_labels is None:
-        raise ValueError(f"model {model!r}: labels required to measure detection quality")
-
-    module = LogisticDecisionModule(seed=seed)
-    org_i = common.index("ORG")
-    module.fit(ensemble_features(val_stack), misprediction_targets(val_stack[org_i], val_labels))
-
-    clean_features = ensemble_features(test_stack)
-    clean_targets = misprediction_targets(test_stack[org_i], test_labels)
-    clean_flags = module.predict(clean_features)
-    clean = module.evaluate(clean_features, clean_targets)
-
-    if getattr(spec, "target", "probs") == "weights":
-        pristine = module.w
-        try:
-            module.w = np.asarray(spec.apply(pristine), dtype=np.float64)
-            faulted_flags = module.predict(clean_features)
-            faulted = module.evaluate(clean_features, clean_targets)
-        finally:
-            module.w = pristine
-    else:
-        faulted_stack = np.stack([sanitize_probs(spec.apply(test_stack[i])) for i in range(len(common))], axis=0)
-        faulted_features = ensemble_features(faulted_stack)
-        faulted_targets = misprediction_targets(faulted_stack[org_i], test_labels)
-        faulted_flags = module.predict(faulted_features)
-        faulted = module.evaluate(faulted_features, faulted_targets)
-    return {
-        "model": model,
-        "members": common,
-        "degraded": bool(val.degraded or test.degraded),
-        "fault": spec.describe(),
-        "clean": clean.to_dict(),
-        "faulted": faulted.to_dict(),
-        # the gate "overrides" ORG wherever it flags a misprediction; the
-        # flag rate under fault is the ensemble's override pressure
-        "override": {
-            "clean": round(float(clean_flags.mean()), 6),
-            "faulted": round(float(faulted_flags.mean()), 6),
-        },
-        "delta": {
-            k: round(faulted.to_dict()[k] - clean.to_dict()[k], 6)
-            for k in ("accuracy", "precision", "recall", "f1", "auc")
-        },
-    }
+    ctx = prepare_degradation(store, model, members=members, seed=seed, runtime=runtime)
+    return degradation_report(ctx, spec)
 
 
 # -- synthetic demo cache (the seed cache has zero valid artifacts) --------

@@ -49,6 +49,7 @@ from pathlib import Path
 
 __all__ = [
     "DEFAULT_LATENCY_BUCKETS",
+    "BATCH_SIZE_BUCKETS",
     "Counter",
     "Gauge",
     "Histogram",
@@ -93,6 +94,12 @@ DEFAULT_LATENCY_BUCKETS = (
     10.0,
     30.0,
 )
+
+# Power-of-two sizing buckets for the campaign batch-size histogram: a batch
+# is at most --batch-size trials, and splits (breaker activity, window
+# tails) land in the lower buckets, so the distribution shows how often the
+# planner actually got to batch.
+BATCH_SIZE_BUCKETS = (1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0, 256.0)
 
 LabelKey = tuple[tuple[str, str], ...]
 

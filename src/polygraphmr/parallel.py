@@ -62,6 +62,7 @@ import sys
 import threading
 from pathlib import Path
 
+from .batching import DEFAULT_BATCH_SIZE
 from .cache import DEFAULT_CACHE_BYTES, SharedMemoryPlane
 from .campaign import (
     CHECKPOINT_NAME,
@@ -137,6 +138,8 @@ def _worker_main(
     progress,
     cache_bytes: int = DEFAULT_CACHE_BYTES,
     use_cache: bool = True,
+    batch_size: int = DEFAULT_BATCH_SIZE,
+    use_batch: bool = True,
     plane: SharedMemoryPlane | None = None,
 ) -> None:
     """One worker process: drain ``assignment`` through a private
@@ -187,12 +190,33 @@ def _worker_main(
             plane=plane,
         )
         executor.restore_boards(done_trials)
-        for index in assignment:
-            if stop.is_set():
-                break
-            record = executor.execute(index)
-            shard.append(record)
-            progress.put((worker_id, index, record["outcome"], shard.head))
+        if use_batch and executor.batchable:
+            # batched execution inside this worker's partition: window over
+            # the models this worker owns, flush whole windows through the
+            # shard with one fsync, then report per-record progress — each
+            # event carries the chain head *as of that record* so a parent
+            # checkpoint taken mid-window stays position-consistent with
+            # the shard chain on resume
+            from .batching import BatchTrialEngine, plan_windows
+
+            engine = BatchTrialEngine(executor, batch_size=batch_size)
+            n_owned = len({index % len(models) for index in assignment}) or 1
+            for window in plan_windows(assignment, n_owned, batch_size):
+                if stop.is_set():
+                    break
+                records, aborted = engine.execute_window(window, stop=stop)
+                seals = shard.append_many(records)
+                for record, seal in zip(records, seals):
+                    progress.put((worker_id, record["index"], record["outcome"], seal))
+                if aborted:
+                    break
+        else:
+            for index in assignment:
+                if stop.is_set():
+                    break
+                record = executor.execute(index)
+                shard.append(record)
+                progress.put((worker_id, index, record["outcome"], shard.head))
     except BaseException as exc:  # noqa: BLE001 - worker failure is an outcome
         print(f"worker {worker_id:02d} failed: {exc!r}", file=sys.stderr)
         write_metrics_shard()
@@ -224,6 +248,8 @@ class ParallelCampaignRunner:
         audit: dict | None = None,
         cache_bytes: int = DEFAULT_CACHE_BYTES,
         use_cache: bool = True,
+        batch_size: int = DEFAULT_BATCH_SIZE,
+        use_batch: bool = True,
     ):
         if workers < 1:
             raise CampaignError("bad-workers", f"workers must be >= 1, got {workers}")
@@ -235,6 +261,11 @@ class ParallelCampaignRunner:
         self.audit = audit
         self.cache_bytes = cache_bytes
         self.use_cache = use_cache
+        # like the cache knobs, batch settings shape execution only — they
+        # never enter the journalled config, so journal bytes are invariant
+        # under any (workers, batch_size, use_batch) combination
+        self.batch_size = max(1, int(batch_size))
+        self.use_batch = bool(use_batch)
         self.journal = CampaignJournal(self.out_dir / JOURNAL_NAME, genesis=config_genesis(config))
         self.checkpoint_path = self.out_dir / CHECKPOINT_NAME
         self._stop = threading.Event()
@@ -345,6 +376,8 @@ class ParallelCampaignRunner:
                     progress,
                     self.cache_bytes,
                     self.use_cache,
+                    self.batch_size,
+                    self.use_batch,
                     plane,
                 ),
                 name=f"campaign-w{worker_id:02d}",

@@ -29,7 +29,7 @@ from typing import Mapping, Sequence
 import numpy as np
 
 from ..errors import ConfigError
-from ..faults import FAULT_MODELS, SURFACES, _require_number, apply_fault
+from ..faults import FAULT_MODELS, SURFACES, _require_number, apply_fault, apply_fault_batch
 from ..journal import canonical_json, sha256_hex
 
 try:
@@ -181,6 +181,27 @@ class ScenarioFault:
         s = self.scenario
         return apply_fault(
             arr, surface=s.surface, kind=s.kind, rate=s.rate, sigma=s.sigma, step=s.step, count=s.count, rng=rng
+        )
+
+    def apply_batch(self, stacked: np.ndarray, *, seeds=None) -> np.ndarray:
+        """Batched :meth:`apply`: ``out[b]`` is bit-identical to
+        ``self.scenario.fault(seeds[b]).apply(stacked[b])``.  ``seeds``
+        defaults to this fault's seed for every slice; the input is never
+        mutated."""
+
+        s = self.scenario
+        stacked = np.asarray(stacked)
+        if seeds is None:
+            seeds = [self.seed] * stacked.shape[0]
+        return apply_fault_batch(
+            stacked,
+            surface=s.surface,
+            kind=s.kind,
+            rate=s.rate,
+            sigma=s.sigma,
+            step=s.step,
+            count=s.count,
+            seeds=seeds,
         )
 
     def describe(self) -> dict:

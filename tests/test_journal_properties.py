@@ -145,7 +145,10 @@ def test_byte_flip_is_localised_to_the_exact_line(records, data):
         raw[pos] ^= mask
         journal.path.write_bytes(bytes(raw))
 
-        # which 0-based line did the flip land in?
+        # which 0-based line did the flip land in?  A flip on the file's
+        # final newline byte leaves the last record unterminated, so the
+        # post-flip split yields one fewer separator and the hit is the
+        # (now torn) last line rather than any interior one.
         lines = bytes(raw).split(b"\n")
         acc, hit = 0, 0
         for k, line in enumerate(lines[:-1]):
@@ -153,6 +156,8 @@ def test_byte_flip_is_localised_to_the_exact_line(records, data):
                 hit = k
                 break
             acc += len(line) + 1
+        else:
+            hit = len(lines) - 1
 
         walked, _, issue = walk_chain(journal.path, genesis=journal.genesis)
         if issue is None:

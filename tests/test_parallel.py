@@ -217,7 +217,10 @@ class TestStopAndResume:
         CampaignRunner(config, tmp_path / "serial").run()
 
         shm_before = _shm_entries()
-        runner = ParallelCampaignRunner(config, tmp_path / "par", workers=4)
+        # per-trial drain contract: pin the per-trial loop (the batched
+        # runner amortizes trial_sleep_s, finishing before the timer fires;
+        # its window-abort stop path is covered in test_batching.py)
+        runner = ParallelCampaignRunner(config, tmp_path / "par", workers=4, use_batch=False)
         threading.Timer(0.3, runner.request_stop).start()
         partial = runner.run()
         assert partial["stopped_early"]
@@ -243,7 +246,7 @@ class TestStopAndResume:
         config = _config(multi_model_cache, trial_sleep_s=0.1)
         CampaignRunner(config, tmp_path / "serial").run()
 
-        runner = ParallelCampaignRunner(config, tmp_path / "par", workers=4)
+        runner = ParallelCampaignRunner(config, tmp_path / "par", workers=4, use_batch=False)
         threading.Timer(0.3, runner.request_stop).start()
         assert runner.run()["stopped_early"]
 
@@ -344,8 +347,11 @@ class TestKillMatrix:
     ):
         out = tmp_path / "out"
         shm_before = _shm_entries()
+        # per-trial loop pinned: batching flushes whole windows, so a
+        # 4-trial assignment journals in one burst and the kill races run
+        # completion; the mid-batch kill has its own test below
         proc = subprocess.Popen(
-            self._cli(multi_model_cache, out),
+            self._cli(multi_model_cache, out, "--no-batch"),
             env=self._env(),
             stdout=subprocess.PIPE,
             stderr=subprocess.PIPE,
@@ -376,7 +382,7 @@ class TestKillMatrix:
         assert _shm_entries() == shm_before
 
         resume = subprocess.run(
-            self._cli(multi_model_cache, out, "--resume"),
+            self._cli(multi_model_cache, out, "--resume", "--no-batch"),
             env=self._env(),
             capture_output=True,
             timeout=300,
@@ -392,3 +398,61 @@ class TestKillMatrix:
         indices = [json.loads(line)["index"] for line in raw if '"trial"' in line]
         assert indices == sorted(set(indices)), "an index was journalled twice"
         assert _shm_entries() == shm_before
+
+    @pytest.mark.parametrize("victim", ["worker", "parent"])
+    def test_sigkill_mid_batch_then_resume_matches_serial(
+        self, victim, multi_model_cache, tmp_path
+    ):
+        """The batched variant of the kill matrix: --batch-size 2 keeps two
+        window flushes in flight per worker, so the SIGKILL lands between
+        (or inside) batches; --resume must complete the campaign to bytes
+        identical to an uninterrupted serial run, and verify exit 0."""
+
+        serial_out = tmp_path / "serial"
+        reference = subprocess.run(
+            self._cli(multi_model_cache, serial_out, "--workers", "1", "--no-batch"),
+            env=self._env(),
+            capture_output=True,
+            timeout=300,
+        )
+        assert reference.returncode == 0, reference.stderr.decode()
+
+        out = tmp_path / "out"
+        proc = subprocess.Popen(
+            self._cli(multi_model_cache, out, "--batch-size", "2"),
+            env=self._env(),
+            stdout=subprocess.PIPE,
+            stderr=subprocess.PIPE,
+            start_new_session=True,
+        )
+        try:
+            self._wait_for_progress(out)
+            workers = _child_pids(proc.pid)
+            assert workers, "campaign spawned no worker processes"
+            if victim == "worker":
+                os.kill(workers[len(workers) // 2], signal.SIGKILL)
+                proc.wait(timeout=120)
+            else:
+                os.kill(proc.pid, signal.SIGKILL)
+                proc.wait(timeout=120)
+                _wait_gone(workers)
+        finally:
+            if proc.poll() is None:
+                os.killpg(proc.pid, signal.SIGKILL)
+            proc.stdout.close()
+            proc.stderr.close()
+
+        resume = subprocess.run(
+            self._cli(multi_model_cache, out, "--resume", "--batch-size", "2"),
+            env=self._env(),
+            capture_output=True,
+            timeout=300,
+        )
+        assert resume.returncode == 0, resume.stderr.decode()
+        summary = json.loads(resume.stdout)
+        assert summary["completed"] == N_TRIALS
+        assert (out / JOURNAL_NAME).read_bytes() == (serial_out / JOURNAL_NAME).read_bytes()
+        assert (out / CHECKPOINT_NAME).read_bytes() == (
+            serial_out / CHECKPOINT_NAME
+        ).read_bytes()
+        assert verify_campaign(out)["exit_code"] == 0
