@@ -34,6 +34,7 @@ from .errors import (
     IntegrityMismatch,
     PolygraphError,
     RetryPolicy,
+    ServeError,
     TransientIOError,
     retry_with_backoff,
 )
@@ -77,6 +78,17 @@ _CAMPAIGN_EXPORTS = (
 )
 _PARALLEL_EXPORTS = ("ParallelCampaignRunner",)
 _SCENARIO_EXPORTS = ("Scenario", "ScenarioFault", "builtin_scenarios", "resolve_scenarios")
+_SERVE_EXPORTS = (
+    "FrameAssembler",
+    "ModelSession",
+    "PolygraphService",
+    "ServeConfig",
+    "ServeGateway",
+    "ServeRequest",
+    "parse_request",
+    "request_frame",
+    "response_frame",
+)
 
 
 def __getattr__(name: str):
@@ -99,6 +111,10 @@ def __getattr__(name: str):
         from . import scenarios
 
         return getattr(scenarios, name)
+    if name in _SERVE_EXPORTS:
+        from . import serve
+
+        return getattr(serve, name)
     raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 __all__ = [
@@ -123,19 +139,26 @@ __all__ = [
     "EnsembleResult",
     "EnsembleRuntime",
     "FaultSpec",
+    "FrameAssembler",
     "Gauge",
     "Histogram",
     "IntegrityMismatch",
     "LogisticDecisionModule",
     "MetricsRegistry",
     "ModelManifest",
+    "ModelSession",
     "ModelSkipped",
     "ParallelCampaignRunner",
     "PolygraphError",
+    "PolygraphService",
     "RetryPolicy",
     "SalvageReport",
     "Scenario",
     "ScenarioFault",
+    "ServeConfig",
+    "ServeError",
+    "ServeGateway",
+    "ServeRequest",
     "SharedMemoryPlane",
     "Span",
     "SpanRecord",
@@ -157,7 +180,10 @@ __all__ = [
     "load_registry",
     "measure_degradation",
     "merge_registries",
+    "parse_request",
     "report_campaign",
+    "request_frame",
+    "response_frame",
     "resolve_greedy_file",
     "resolve_scenarios",
     "retry_with_backoff",

@@ -26,6 +26,7 @@ __all__ = [
     "TransientIOError",
     "CampaignError",
     "ConfigError",
+    "ServeError",
     "RetryPolicy",
     "retry_with_backoff",
 ]
@@ -123,6 +124,21 @@ class CampaignError(PolygraphError):
     ``config-mismatch``, ``journal-behind-checkpoint`` (a checkpoint
     committed more records than the journal or a worker shard still holds),
     ``journal-exists``, ``no-models``, and ``bad-workers``."""
+
+    def __init__(self, reason: str, detail: str = ""):
+        self.reason = reason
+        self.detail = detail
+        msg = reason if not detail else f"{reason} ({detail})"
+        super().__init__(msg)
+
+
+class ServeError(PolygraphError):
+    """The serving gateway cannot serve a request or come up.  Carries a
+    machine-readable ``reason``; codes in use include ``unknown-model`` (no
+    such model directory under the served cache), ``frame-too-large`` (an
+    unterminated protocol frame exceeded the bound — the connection's frame
+    boundaries can no longer be trusted), and ``no-listener`` (the gateway
+    was configured with neither a TCP host nor a unix socket)."""
 
     def __init__(self, reason: str, detail: str = ""):
         self.reason = reason

@@ -28,8 +28,19 @@ from polygraphmr.campaign import (
     CampaignRunner,
     verify_campaign,
 )
+from polygraphmr.breaker import BreakerBoard, BreakerPolicy
 from polygraphmr.faults import corrupt_file_truncate
+from polygraphmr.metrics import get_registry
 from polygraphmr.parallel import ParallelCampaignRunner
+from polygraphmr.serve import (
+    OUTCOMES,
+    PolygraphService,
+    ServeConfig,
+    ServeGateway,
+    ServeRequest,
+    request_frame,
+)
+from polygraphmr.store import ArtifactStore
 
 pytestmark = pytest.mark.slow
 
@@ -174,3 +185,107 @@ class TestMetricsReconcileWithJournal:
             assert reg.counter_value("campaign_trials_total", outcome=outcome) == tally[outcome]
         assert reg.counter_value("campaign_watchdog_fired_total") == tally[OUTCOME_TIMEOUT]
         assert reg.histogram_for("campaign_trial_seconds").count == n_trials
+
+
+class TestServeSoak:
+    """1k requests through an in-process gateway under a tripping-breaker
+    schedule: alternating flood bursts (queue pressure trips the sheddable
+    members' breakers) and calm sequential phases (cool-down closes them
+    again).  Afterwards ``serve_requests_total{outcome}`` must reconcile
+    *exactly* against the responses actually received — plus the shed /
+    degraded / deadline side counters and the latency histogram count."""
+
+    N_REQUESTS = 1000
+    BURSTS = 20
+    FLOOD = 40  # concurrent requests per burst
+    CALM = 10  # sequential requests after each burst
+
+    def test_serve_1k_requests_reconciles_counters_exactly(self, synthetic_cache):
+        import asyncio
+        import json
+
+        assert self.BURSTS * (self.FLOOD + self.CALM) == self.N_REQUESTS
+        # cooldown must exceed one batch tick: with cooldown_ticks=1 an open
+        # breaker is re-admitted as a half-open probe on the very next batch
+        # and no response is ever actually served degraded
+        board = BreakerBoard(BreakerPolicy(failure_threshold=2, cooldown_ticks=2))
+        service = PolygraphService(ArtifactStore(synthetic_cache), seed=0, breakers=board)
+        config = ServeConfig(
+            host="127.0.0.1",
+            port=0,
+            max_queue=32,
+            degrade_depth=4,
+            batch_max=8,
+            coalesce_ms=1.0,
+            batch_sleep_s=0.002,
+        )
+
+        async def one(port: int, request: ServeRequest) -> dict:
+            reader, writer = await asyncio.open_connection("127.0.0.1", port)
+            writer.write(request_frame(request))
+            await writer.drain()
+            raw = await reader.readline()
+            writer.close()
+            return json.loads(raw)
+
+        def make_request(i: int) -> ServeRequest:
+            # every 97th request carries an unmeetable budget: the batch
+            # sleep alone exceeds it, so executed ones expire deterministically
+            deadline = 0.01 if i % 97 == 96 else None
+            return ServeRequest(id=f"r{i}", model="tinynet", samples=(i % 160,), deadline_ms=deadline)
+
+        async def run():
+            gateway = ServeGateway(service, config)
+            await gateway.start()
+            port = gateway.bound_port
+            responses: list[dict] = []
+            degraded_bursts: set[int] = set()
+            i = 0
+            try:
+                for burst in range(self.BURSTS):
+                    flood = await asyncio.gather(
+                        *[one(port, make_request(i + k)) for k in range(self.FLOOD)]
+                    )
+                    i += self.FLOOD
+                    if any(p["outcome"] == "degraded" for p in flood):
+                        degraded_bursts.add(burst)
+                    responses.extend(flood)
+                    for _ in range(self.CALM):
+                        responses.append(await one(port, make_request(i)))
+                        i += 1
+                final = await one(port, ServeRequest(id="final", model="tinynet", samples=(0,)))
+            finally:
+                await gateway.drain()
+            return responses, degraded_bursts, final
+
+        responses, degraded_bursts, final = asyncio.run(run())
+        assert len(responses) == self.N_REQUESTS
+
+        # the schedule did what it was built to do: pressure tripped breakers
+        # in more than one burst (trip -> cool-down -> re-trip), load was
+        # shed at the queue bound, and unmeetable budgets expired
+        tally = Tally(p["outcome"] for p in responses)
+        assert tally["degraded"] > 0, "no burst ever degraded the member set"
+        assert len(degraded_bursts) >= 2, "breakers never re-tripped after cooling down"
+        assert tally["overloaded"] > 0, "queue bound never shed"
+        assert tally["deadline_exceeded"] > 0, "no unmeetable budget expired"
+        assert "error" not in tally
+        # calm queue at the end: breakers closed again, full member set back
+        assert final["outcome"] == "ok" and final["breakers"] == {}
+
+        # exact reconciliation: every counter equals the response tally —
+        # +1 "ok" for the final recovery probe, which is a served request too
+        tally["ok"] += 1
+        reg = get_registry()
+        for outcome in OUTCOMES:
+            assert reg.counter_value("serve_requests_total", outcome=outcome) == tally[outcome], outcome
+        assert reg.counter_total("serve_requests_total") == self.N_REQUESTS + 1
+        assert reg.counter_value("serve_shed_total") == tally["overloaded"]
+        assert reg.counter_value("serve_degraded_total") == tally["degraded"]
+        assert reg.counter_value("serve_deadline_exceeded_total") == tally["deadline_exceeded"]
+        assert reg.histogram_for("serve_request_seconds").count == self.N_REQUESTS + 1
+        # every non-shed request crossed the dispatcher in some batch
+        executed = self.N_REQUESTS + 1 - tally["overloaded"]
+        batch_sizes = reg.histogram_for("serve_batch_size")
+        assert batch_sizes is not None and batch_sizes.sum == executed
+        assert batch_sizes.count == reg.counter_value("serve_batches_total")
