@@ -21,6 +21,13 @@ Three phases against one gateway subprocess over a synthetic cache::
    even a SIGKILL cannot leak), and a fresh connection attempt must be
    refused.
 
+The full cycle runs twice: once against an in-process gateway and once
+against ``--serve-workers 4`` (the multi-process execution plane).  The
+pooled cycle additionally requires the ready line to carry four live worker
+pids, the drain summary's pool stanza to report worker batches with zero
+crash fallbacks, the merged metrics JSON to carry the workers' shard
+counters, and every worker process to be reaped after exit.
+
 Exits 0 on success; any deviation is a hard failure.  Run by CI on every
 push.
 """
@@ -31,6 +38,7 @@ import asyncio
 import contextlib
 import glob
 import json
+import os
 import signal
 import socket
 import subprocess
@@ -56,7 +64,7 @@ def shm_segments() -> list[str]:
     return sorted(glob.glob("/dev/shm/pgmr-*"))
 
 
-def start_gateway(tmp: Path) -> tuple[subprocess.Popen, int]:
+def start_gateway(tmp: Path, workers: int) -> tuple[subprocess.Popen, int, list[int]]:
     cmd = [
         sys.executable,
         "-m",
@@ -73,6 +81,8 @@ def start_gateway(tmp: Path) -> tuple[subprocess.Popen, int]:
         "0.01",
         "--batch-max",
         "8",
+        "--serve-workers",
+        str(workers),
         "--metrics-out",
         str(tmp / "metrics.json"),
         "--prom-out",
@@ -87,8 +97,14 @@ def start_gateway(tmp: Path) -> tuple[subprocess.Popen, int]:
     ready = json.loads(ready_line)
     if ready.get("ready") is not True or sorted(ready.get("models", [])) != [f"net-{i:02d}" for i in range(N_MODELS)]:
         raise SystemExit(f"FAIL: bad ready line: {ready_line!r}")
-    print(f"OK: gateway ready on port {ready['port']} serving {ready['models']}")
-    return proc, int(ready["port"])
+    pids = [int(pid) for pid in ready.get("workers", [])]
+    if len(pids) != workers:
+        raise SystemExit(f"FAIL: asked for {workers} pool workers, ready line lists pids {pids}")
+    for pid in pids:
+        os.kill(pid, 0)  # raises ProcessLookupError if the worker is not alive
+    label = f"{workers}-worker pool" if workers else "in-process"
+    print(f"OK: {label} gateway ready on port {ready['port']} serving {ready['models']}")
+    return proc, int(ready["port"]), pids
 
 
 async def one_request(port: int, request: ServeRequest) -> dict:
@@ -190,7 +206,7 @@ def phase_sigterm_mid_load(proc: subprocess.Popen, port: int) -> tuple[dict[str,
     return outcomes, summary
 
 
-def check_reconciliation(summary: dict, outcomes: dict[str, int], tmp: Path) -> None:
+def check_reconciliation(summary: dict, outcomes: dict[str, int], tmp: Path, workers: int) -> None:
     for outcome in OUTCOMES:
         if summary["served"].get(outcome, 0) != outcomes.get(outcome, 0):
             raise SystemExit(
@@ -207,10 +223,24 @@ def check_reconciliation(summary: dict, outcomes: dict[str, int], tmp: Path) -> 
     prom = (tmp / "metrics.prom").read_text(encoding="utf-8")
     if "serve_requests_total" not in prom or "serve_request_seconds" not in prom:
         raise SystemExit("FAIL: Prometheus dump is missing the serve metrics")
+    if workers:
+        pool = summary.get("pool", {})
+        if pool.get("workers") != workers or not pool.get("worker_batches"):
+            raise SystemExit(f"FAIL: pooled drain summary has no worker batches: {pool!r}")
+        if pool.get("restarts") or any(pool.get("fallbacks", {}).values()):
+            raise SystemExit(f"FAIL: healthy pool reported restarts/fallbacks: {pool!r}")
+        shard_batches = sum(
+            row["value"] for row in metrics["counters"] if row["name"] == "serve_worker_batches_total"
+        )
+        if shard_batches != pool["worker_batches"]:
+            raise SystemExit(
+                f"FAIL: merged metrics carry {shard_batches} worker batches, pool stanza says "
+                f"{pool['worker_batches']} — shard merge lost counts"
+            )
     print("OK: drain summary, metrics.json, and responses all reconcile exactly")
 
 
-def check_hygiene(port: int, before: list[str]) -> None:
+def check_hygiene(port: int, before: list[str], worker_pids: list[int]) -> None:
     after = shm_segments()
     leaked = sorted(set(after) - set(before))
     if leaked:
@@ -219,13 +249,20 @@ def check_hygiene(port: int, before: list[str]) -> None:
         sock.settimeout(1.0)
         if sock.connect_ex(("127.0.0.1", port)) == 0:
             raise SystemExit(f"FAIL: port {port} still accepting connections after exit")
-    print("OK: no /dev/shm leak, listener gone")
+    for pid in worker_pids:
+        try:
+            os.kill(pid, 0)
+        except ProcessLookupError:
+            continue
+        raise SystemExit(f"FAIL: pool worker {pid} survived gateway drain")
+    suffix = f", all {len(worker_pids)} workers reaped" if worker_pids else ""
+    print(f"OK: no /dev/shm leak, listener gone{suffix}")
 
 
-def main() -> int:
+def run_cycle(workers: int) -> None:
     shm_before = shm_segments()
     tmp = Path(tempfile.mkdtemp(prefix="polygraphmr-smoke-serve-"))
-    proc, port = start_gateway(tmp)
+    proc, port, worker_pids = start_gateway(tmp, workers)
     try:
         outcomes = phase_concurrent_requests(port)
         drain_outcomes, summary = phase_sigterm_mid_load(proc, port)
@@ -234,9 +271,14 @@ def main() -> int:
             proc.kill()
     for outcome, n in drain_outcomes.items():
         outcomes[outcome] = outcomes.get(outcome, 0) + n
-    check_reconciliation(summary, outcomes, tmp)
-    check_hygiene(port, shm_before)
-    print("OK: serve smoke complete")
+    check_reconciliation(summary, outcomes, tmp, workers)
+    check_hygiene(port, shm_before, worker_pids)
+
+
+def main() -> int:
+    for workers in (0, 4):
+        run_cycle(workers)
+    print("OK: serve smoke complete (in-process + pooled)")
     return 0
 
 

@@ -51,6 +51,19 @@ dispatcher's coalescing waits are a ``RetryPolicy`` schedule whose
 request whose budget is exhausted by the time its batch executes is answered
 ``deadline_exceeded`` instead of evaluated.
 
+**Multi-process execution plane.**  ``workers=N`` (CLI
+``--serve-workers``) forks a :class:`WorkerPool` of stateless evaluator
+processes that inherit the pre-warmed sessions and the already-sealed
+shared-memory plane.  The dispatcher remains authoritative for *all*
+policy — :meth:`ServeGateway._plan_batch` ticks the breaker board, decides
+the ``active``/``shed`` member split, and records pressure synchronously in
+dispatch order — while workers receive only ``(model, active_members,
+flat_sample_indices)`` and return raw arrays the parent slices and encodes
+itself, so pooled responses are byte-identical to the in-process path.  A
+crashed worker is respawned and its batch transparently re-evaluated
+in-process (``serve_pool_fallback_total{reason}``); worker metrics shards
+and spans are merged into the parent registry on drain.
+
 Latency quantiles (``serve_request_seconds``), queue depth, and
 shed/degraded/deadline-exceeded counters flow through
 :mod:`polygraphmr.metrics` and export as JSON + Prometheus on drain.
@@ -63,9 +76,10 @@ import asyncio
 import contextlib
 import json
 import math
+import multiprocessing as mp
 import signal
 import time
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from pathlib import Path
 
 import numpy as np
@@ -75,8 +89,9 @@ from .cache import DEFAULT_CACHE_BYTES, ArtifactCache, SharedMemoryPlane
 from .decision import LogisticDecisionModule, ensemble_features, misprediction_targets
 from .ensemble import EnsembleRuntime
 from .errors import ConfigError, DegradedEnsemble, RetryPolicy, ServeError
-from .metrics import BATCH_SIZE_BUCKETS, get_registry
+from .metrics import BATCH_SIZE_BUCKETS, MetricsRegistry, get_registry, set_registry
 from .store import ArtifactStore
+from .tracing import Tracer, get_tracer, set_tracer
 
 __all__ = [
     "MAX_FRAME_BYTES",
@@ -86,13 +101,19 @@ __all__ = [
     "OUTCOME_OVERLOADED",
     "OUTCOME_DEADLINE",
     "OUTCOME_ERROR",
+    "FALLBACK_NO_WORKERS",
+    "FALLBACK_WORKER_CRASH",
+    "FALLBACK_WORKER_ERROR",
     "ServeRequest",
     "parse_request",
     "request_frame",
     "response_frame",
+    "flat_sample_indices",
     "FrameAssembler",
     "ModelSession",
     "PolygraphService",
+    "PoolFallback",
+    "WorkerPool",
     "ServeConfig",
     "ServeGateway",
     "coalesce_slices",
@@ -288,6 +309,13 @@ class FrameAssembler:
 # ---------------------------------------------------------------------------
 
 
+def flat_sample_indices(requests: list[ServeRequest]) -> np.ndarray:
+    """Concatenated sample indices across ``requests`` — the flat batch that
+    one tensor op (in-process or shipped to a pool worker) evaluates."""
+
+    return np.array([idx for r in requests for idx in r.samples], dtype=np.int64)
+
+
 @dataclass
 class ModelSession:
     """Warm, fitted serving state for one (model, member-subset) pair.
@@ -360,6 +388,7 @@ class PolygraphService:
         self.runtime = EnsembleRuntime(store, min_members=min_members, seed=seed, breakers=self.board)
         self._base: dict[str, ModelSession] = {}
         self._derived: dict[tuple[str, tuple[str, ...]], ModelSession] = {}
+        self._stanzas: dict[tuple[str, tuple[str, ...], tuple[str, ...]], dict] = {}
 
     # -- sessions --------------------------------------------------------
 
@@ -480,38 +509,76 @@ class PolygraphService:
     # -- evaluation ------------------------------------------------------
 
     def check_samples(self, model: str, request: ServeRequest) -> None:
-        """Range-check sample indices against the model's test split."""
+        """Range-check sample indices against the model's test split.
+
+        One vectorized comparison over the whole request instead of a Python
+        loop per index; the error still names the exact offending field path
+        (``request.samples[i]`` for the *first* out-of-range index, matching
+        what the per-index loop reported).
+        """
 
         n = self.base_session(model).n_samples
-        for i, idx in enumerate(request.samples):
-            if idx >= n:
-                raise _bad(f"request.samples[{i}]", "out-of-range", f"model {model!r} has {n} test samples")
+        samples = np.fromiter(request.samples, dtype=np.int64, count=len(request.samples))
+        bad = np.nonzero(samples >= n)[0]
+        if bad.size:
+            i = int(bad[0])
+            raise _bad(f"request.samples[{i}]", "out-of-range", f"model {model!r} has {n} test samples")
 
-    def evaluate_requests(
+    def static_stanza(self, model: str, active: list[str], shed: list[str]) -> dict:
+        """The response fields that are constant across every payload of a
+        ``(model, active, shed)`` combination — members, degraded verdict,
+        missing/quarantined rosters.  Cached and shared by reference: the
+        shed/recover cycle alternates between a handful of member subsets,
+        and re-building (and re-serialising state into) these lists per
+        request is pure overhead on the hot path.  Callers must treat the
+        returned mapping and its values as frozen."""
+
+        key = (model, tuple(active), tuple(shed))
+        stanza = self._stanzas.get(key)
+        if stanza is None:
+            base = self.base_session(model)
+            degraded = bool(shed or base.missing or base.quarantined)
+            stanza = {
+                "outcome": OUTCOME_DEGRADED if degraded else OUTCOME_OK,
+                "model": model,
+                "members": list(active),
+                "degraded": degraded,
+                "shed": sorted(shed),
+                "missing": list(base.missing),
+                "quarantined": dict(base.quarantined),
+            }
+            self._stanzas[key] = stanza
+        return stanza
+
+    def build_payloads(
         self,
         model: str,
         requests: list[ServeRequest],
+        counts: list[int],
+        probs: np.ndarray,
+        predictions: np.ndarray,
+        flags: np.ndarray,
         *,
-        active: list[str] | None = None,
-        shed: list[str] | None = None,
+        active: list[str],
+        shed: list[str],
+        breaker_states: dict,
     ) -> list[dict]:
-        """Response payloads for same-model requests, evaluated as one tensor op.
+        """Slice raw evaluation arrays back into per-request payloads.
 
-        All requests' sample indices are concatenated, evaluated once, and
-        sliced back per request — byte-identical to evaluating each request
-        alone because every statistic involved is per-sample.
+        Pure assembly — no policy, no board reads: everything dynamic
+        (``active``/``shed``/``breaker_states``) is decided by the caller
+        and passed in, which is what lets pooled workers return raw arrays
+        while the dispatcher stays authoritative.  ``ndarray.tolist()`` does
+        the number conversion in one C call per array (bit-identical to the
+        old per-element ``float()``/``int()`` loops — enforced by a
+        regression test), and the static stanza is shared by reference
+        across payloads.
         """
 
-        base = self.base_session(model)
-        if active is None:
-            active = list(base.members)
-        shed = list(shed or [])
-        session = self.session_for(model, tuple(active))
-        counts = [len(r.samples) for r in requests]
-        flat = np.array([idx for r in requests for idx in r.samples], dtype=np.int64)
-        probs, predictions, flags = session.evaluate(flat)
-        breaker_states = self.board.states_for(model)
-        degraded = bool(shed or session.missing or session.quarantined)
+        stanza = self.static_stanza(model, active, shed)
+        probs_list = probs.tolist()
+        predictions_list = predictions.tolist()
+        flags_list = flags.tolist()
         payloads = []
         offset = 0
         for request, count in zip(requests, counts):
@@ -520,20 +587,54 @@ class PolygraphService:
             payloads.append(
                 {
                     "id": request.id,
-                    "outcome": OUTCOME_DEGRADED if degraded else OUTCOME_OK,
-                    "model": model,
-                    "members": list(session.members),
-                    "probs": [[float(p) for p in row] for row in probs[span]],
-                    "predictions": [int(p) for p in predictions[span]],
-                    "flags": [int(f) for f in flags[span]],
-                    "degraded": degraded,
-                    "shed": sorted(shed),
-                    "missing": list(session.missing),
-                    "quarantined": dict(session.quarantined),
+                    **stanza,
+                    "probs": probs_list[span],
+                    "predictions": predictions_list[span],
+                    "flags": flags_list[span],
                     "breakers": breaker_states,
                 }
             )
         return payloads
+
+    def evaluate_requests(
+        self,
+        model: str,
+        requests: list[ServeRequest],
+        *,
+        active: list[str] | None = None,
+        shed: list[str] | None = None,
+        breaker_states: dict | None = None,
+    ) -> list[dict]:
+        """Response payloads for same-model requests, evaluated as one tensor op.
+
+        All requests' sample indices are concatenated, evaluated once, and
+        sliced back per request — byte-identical to evaluating each request
+        alone because every statistic involved is per-sample.  This is the
+        in-process composite the worker pool decomposes: policy inputs in,
+        :meth:`ModelSession.evaluate`, :meth:`build_payloads` out.
+        """
+
+        base = self.base_session(model)
+        if active is None:
+            active = list(base.members)
+        shed = list(shed or [])
+        session = self.session_for(model, tuple(active))
+        counts = [len(r.samples) for r in requests]
+        flat = flat_sample_indices(requests)
+        probs, predictions, flags = session.evaluate(flat)
+        if breaker_states is None:
+            breaker_states = self.board.states_for(model)
+        return self.build_payloads(
+            model,
+            requests,
+            counts,
+            probs,
+            predictions,
+            flags,
+            active=active,
+            shed=shed,
+            breaker_states=breaker_states,
+        )
 
     def respond(self, request: ServeRequest) -> dict:
         """The serial reference path: one request, straight through.
@@ -562,6 +663,236 @@ def error_payload(rid: str, exc: BaseException) -> dict:
     if isinstance(exc, DegradedEnsemble):
         error["reason"] = "degraded-below-minimum"
     return {"id": rid, "outcome": OUTCOME_ERROR, "error": error}
+
+
+# ---------------------------------------------------------------------------
+# worker pool (multi-process execution plane)
+# ---------------------------------------------------------------------------
+
+# control-pipe verbs, parent -> worker
+POOL_EVAL = "eval"
+POOL_DRAIN = "drain"
+
+# reasons a pooled batch fell back to in-process evaluation
+FALLBACK_NO_WORKERS = "no-workers"
+FALLBACK_WORKER_CRASH = "worker-crash"
+FALLBACK_WORKER_ERROR = "worker-error"
+
+
+class PoolFallback(Exception):
+    """A pooled evaluation could not be completed by any worker.
+
+    Raised by :meth:`WorkerPool.evaluate`; the dispatcher catches it, counts
+    ``serve_pool_fallback_total{reason}``, and evaluates the batch in-process
+    — the request is always answered, and because workers run the exact same
+    tensor-op path the fallback response is byte-identical.
+    """
+
+    def __init__(self, reason: str, detail: str = ""):
+        super().__init__(detail or reason)
+        self.reason = reason
+
+
+def _pool_worker_main(worker_id: int, service: PolygraphService, conn) -> None:
+    """Body of one forked evaluator process.
+
+    Stateless by contract: every policy decision (coalescing, deadlines,
+    shedding, breaker member selection) already happened in the parent —
+    a job is ``(model, active_members, flat_sample_indices)`` and the reply
+    is the raw evaluation arrays.  The worker never touches a breaker board,
+    a queue, or a socket, which is what makes pooled responses byte-identical
+    to in-process ones.
+
+    Shutdown: SIGTERM/SIGINT are ignored (the parent's drain owns shutdown
+    ordering); the worker exits on ``POOL_DRAIN`` — replying with its
+    metrics/tracing shard first — or on pipe EOF if the parent died.
+    """
+
+    signal.signal(signal.SIGTERM, signal.SIG_IGN)
+    signal.signal(signal.SIGINT, signal.SIG_IGN)
+    # fork duplicated the parent's metric and tracing state (locks included);
+    # start from fresh objects so the shard carries only this worker's deltas
+    # and no lock inherited mid-acquire can wedge the child
+    set_registry(MetricsRegistry())
+    set_tracer(Tracer())
+    registry = get_registry()
+    tracer = get_tracer()
+    while True:
+        try:
+            message = conn.recv()
+        except (EOFError, OSError):
+            break  # parent is gone; nothing left to serve
+        if message[0] == POOL_DRAIN:
+            with contextlib.suppress(OSError, BrokenPipeError):
+                conn.send(("metrics", registry.to_dict(), tracer.to_dicts()))
+            break
+        _, model, active, flat = message
+        try:
+            started = time.perf_counter()
+            with tracer.span("serve.worker.evaluate", model=model, samples=len(flat)):
+                session = service.session_for(model, tuple(active))
+                probs, predictions, flags = session.evaluate(np.asarray(flat, dtype=np.int64))
+            registry.counter("serve_worker_batches_total").inc()
+            registry.counter("serve_worker_samples_total").inc(len(flat))
+            registry.histogram("serve_worker_eval_seconds").observe(time.perf_counter() - started)
+            reply = ("ok", probs, predictions, flags)
+        except Exception as exc:  # noqa: BLE001 - parent falls back in-process
+            reply = ("error", type(exc).__name__, str(exc))
+        try:
+            conn.send(reply)
+        except (OSError, BrokenPipeError):
+            break
+    with contextlib.suppress(OSError):
+        conn.close()
+
+
+@dataclass
+class _PoolWorker:
+    """One live evaluator: its process, pipe, and a send/recv serializer."""
+
+    slot: int
+    process: object
+    conn: object
+    lock: asyncio.Lock
+    alive: bool = True
+
+
+class WorkerPool:
+    """A fixed-size pool of forked evaluator processes behind duplex pipes.
+
+    Workers are forked from the warm parent, so they inherit the built base
+    sessions and the (already unlinked) shared-memory plane mapping for
+    free — a SIGKILLed worker can never leak ``/dev/shm``.  The pool is a
+    pure execution plane: round-robin job placement, per-worker pipes, crash
+    detection via pipe EOF, respawn-in-place, and a drain handshake that
+    ships each worker's metrics/tracing shard back for an exact merge
+    (the pipe-borne twin of the campaign's ``metrics.wNN.json`` merge).
+    """
+
+    def __init__(self, service: PolygraphService, size: int):
+        if size <= 0:
+            raise ValueError(f"pool size must be positive; got {size}")
+        self.service = service
+        self.size = size
+        self._ctx = mp.get_context("fork")
+        self._workers: list[_PoolWorker] = []
+        self._rr = 0
+        self._draining = False
+
+    def start(self) -> None:
+        self._workers = [self._spawn(slot) for slot in range(self.size)]
+
+    def _spawn(self, slot: int) -> _PoolWorker:
+        parent_conn, child_conn = self._ctx.Pipe(duplex=True)
+        process = self._ctx.Process(
+            target=_pool_worker_main,
+            args=(slot, self.service, child_conn),
+            name=f"pgmr-serve-w{slot:02d}",
+            daemon=True,
+        )
+        process.start()
+        child_conn.close()
+        return _PoolWorker(slot=slot, process=process, conn=parent_conn, lock=asyncio.Lock())
+
+    @property
+    def pids(self) -> list[int]:
+        """PIDs of the currently live workers (ready-line / test surface)."""
+
+        return [int(w.process.pid) for w in self._workers if w.alive]
+
+    def _pick(self) -> _PoolWorker | None:
+        alive = [w for w in self._workers if w.alive]
+        if not alive:
+            return None
+        worker = alive[self._rr % len(alive)]
+        self._rr += 1
+        return worker
+
+    def _bury(self, worker: _PoolWorker) -> None:
+        """Retire a crashed worker and respawn its slot.
+
+        ``serve_worker_restarts_total`` counts the respawns; during drain the
+        slot stays empty instead (no point forking into a shutdown).
+        """
+
+        if not worker.alive:
+            return
+        worker.alive = False
+        with contextlib.suppress(OSError):
+            worker.conn.close()
+        if worker.process.is_alive():
+            worker.process.kill()
+        worker.process.join(timeout=5.0)
+        if not self._draining:
+            get_registry().counter("serve_worker_restarts_total").inc()
+            self._workers[worker.slot] = self._spawn(worker.slot)
+
+    async def evaluate(
+        self, model: str, active: list[str], flat: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Ship one evaluation job to a worker; raw arrays back.
+
+        Pipe I/O runs on executor threads so the event loop keeps serving
+        while a worker computes.  A dead pipe (worker SIGKILLed mid-batch)
+        buries and respawns the worker and raises :class:`PoolFallback` —
+        the caller re-evaluates in-process, so the batch is still answered.
+        """
+
+        worker = self._pick()
+        if worker is None:
+            raise PoolFallback(FALLBACK_NO_WORKERS, "no live pool workers")
+        loop = asyncio.get_running_loop()
+        async with worker.lock:
+            try:
+                await loop.run_in_executor(None, worker.conn.send, (POOL_EVAL, model, list(active), flat))
+                reply = await loop.run_in_executor(None, worker.conn.recv)
+            except (EOFError, OSError, BrokenPipeError) as exc:
+                self._bury(worker)
+                raise PoolFallback(
+                    FALLBACK_WORKER_CRASH, f"worker w{worker.slot:02d} pipe failed: {exc!r}"
+                ) from exc
+        if reply[0] != "ok":
+            raise PoolFallback(FALLBACK_WORKER_ERROR, f"worker w{worker.slot:02d}: {reply[1]}: {reply[2]}")
+        get_registry().counter("serve_pool_jobs_total", worker=f"w{worker.slot:02d}").inc()
+        _, probs, predictions, flags = reply
+        return probs, predictions, flags
+
+    async def drain(self) -> int:
+        """Stop every worker, folding their observability shards into the
+        parent registry/tracer.  Returns the number of shards merged.
+
+        Shards merge in slot order through the same exact-arithmetic path as
+        campaign worker shards (counter add, gauge max, bucket add), so the
+        exported ``metrics.json`` accounts for every worker's evaluations.
+        """
+
+        self._draining = True
+        loop = asyncio.get_running_loop()
+        shards: list[tuple[int, dict, list[dict]]] = []
+        for worker in self._workers:
+            if not worker.alive:
+                continue
+            async with worker.lock:
+                try:
+                    await loop.run_in_executor(None, worker.conn.send, (POOL_DRAIN,))
+                    reply = await asyncio.wait_for(loop.run_in_executor(None, worker.conn.recv), timeout=30.0)
+                    if reply[0] == "metrics":
+                        shards.append((worker.slot, reply[1], reply[2]))
+                except (EOFError, OSError, BrokenPipeError, asyncio.TimeoutError):
+                    pass  # a dead worker's shard is lost; drain the rest
+            worker.alive = False
+            with contextlib.suppress(OSError):
+                worker.conn.close()
+            worker.process.join(timeout=5.0)
+            if worker.process.is_alive():  # pragma: no cover - stuck worker
+                worker.process.kill()
+                worker.process.join(timeout=5.0)
+        registry = get_registry()
+        tracer = get_tracer()
+        for _slot, metrics_dict, spans in sorted(shards, key=lambda shard: shard[0]):
+            registry.merge_dict(metrics_dict)
+            tracer.absorb(spans)
+        return len(shards)
 
 
 # ---------------------------------------------------------------------------
@@ -612,6 +943,9 @@ class ServeConfig:
     batch_sleep_s: float = 0.0
     metrics_out: str | None = None
     prom_out: str | None = None
+    # > 0 forks that many evaluator processes (the multi-process execution
+    # plane); 0 keeps evaluation in-process on the dispatcher
+    workers: int = 0
 
 
 _STOP = object()
@@ -630,6 +964,27 @@ class _Queued:
         if deadline_ms is None:
             return None
         return deadline_ms / 1000.0 - (now - self.started)
+
+
+@dataclass
+class _BatchPlan:
+    """One model group's dispatch-time policy decisions, frozen before the
+    batch executes.
+
+    The dispatcher computes everything stateful here — validation verdicts,
+    active/shed member selection (with its ``allow()`` probe side effects),
+    the breaker-state snapshot, and the pressure recording — *synchronously
+    at dispatch*, so pooled batches can execute concurrently without any
+    worker ever reading or racing on the board.  Execution downstream is a
+    pure function of the plan.
+    """
+
+    model: str
+    queued: list[_Queued] = field(default_factory=list)
+    errors: list[tuple[_Queued, dict]] = field(default_factory=list)
+    active: list[str] = field(default_factory=list)
+    shed: list[str] = field(default_factory=list)
+    breaker_states: dict = field(default_factory=dict)
 
 
 class _Connection:
@@ -662,10 +1017,30 @@ class ServeGateway:
         self._draining = False
         self._drained = asyncio.Event()
         self.bound_port: int | None = None
+        self._pool: WorkerPool | None = None
+        self._pool_sem: asyncio.Semaphore | None = None
+        self._inflight: set[asyncio.Task] = set()
+
+    @property
+    def worker_pids(self) -> list[int]:
+        """Live pool worker PIDs ([] when serving in-process)."""
+
+        return self._pool.pids if self._pool is not None else []
 
     # -- lifecycle -------------------------------------------------------
 
     async def start(self) -> None:
+        if self.config.workers > 0:
+            # Warm every servable base session *before* forking: workers
+            # inherit the fitted sessions (and the sealed shared-memory
+            # plane mapping) through fork instead of each rebuilding them.
+            # Models that won't serve warm lazily and fail per-request.
+            for model in self.service.store.models():
+                with contextlib.suppress(ServeError, DegradedEnsemble):
+                    self.service.base_session(model)
+            self._pool = WorkerPool(self.service, self.config.workers)
+            self._pool.start()
+            self._pool_sem = asyncio.Semaphore(self.config.workers)
         if self.config.host is not None:
             server = await asyncio.start_server(self._handle, self.config.host, self.config.port)
             self._servers.append(server)
@@ -694,6 +1069,12 @@ class ServeGateway:
         await self.queue.put(_STOP)
         if self._dispatcher is not None:
             await self._dispatcher
+        # pooled batches dispatched as tasks may still be executing: every
+        # already-accepted request completes before the pool shuts down
+        if self._inflight:
+            await asyncio.gather(*self._inflight, return_exceptions=True)
+        if self._pool is not None:
+            await self._pool.drain()  # folds worker shards into this registry
         self._export_metrics()
         for task in list(self._handlers):
             task.cancel()
@@ -769,7 +1150,7 @@ class ServeGateway:
 
     def _metrics_snapshot(self) -> dict:
         registry = get_registry()
-        return {
+        snapshot = {
             "requests": {outcome: registry.counter_value("serve_requests_total", outcome=outcome) for outcome in OUTCOMES},
             "shed": registry.counter_value("serve_shed_total"),
             "degraded": registry.counter_value("serve_degraded_total"),
@@ -777,6 +1158,16 @@ class ServeGateway:
             "batches": registry.counter_value("serve_batches_total"),
             "queue_depth": self.queue.qsize(),
         }
+        if self._pool is not None:
+            snapshot["pool"] = {
+                "workers": len(self._pool.pids),
+                "restarts": registry.counter_value("serve_worker_restarts_total"),
+                "fallbacks": {
+                    reason: registry.counter_value("serve_pool_fallback_total", reason=reason)
+                    for reason in (FALLBACK_NO_WORKERS, FALLBACK_WORKER_CRASH, FALLBACK_WORKER_ERROR)
+                },
+            }
+        return snapshot
 
     async def _finish(self, conn: _Connection, payload: dict, started: float) -> None:
         """Send a terminal response: the single point that counts outcomes,
@@ -815,7 +1206,24 @@ class ServeGateway:
                     batch.append(extra)
             else:
                 stopping = await self._coalesce(batch)
-            await self._execute(batch)
+            # Policy runs here, synchronously, in dispatch order — batch N's
+            # board mutations are complete before batch N+1 is even planned,
+            # whether execution is serial (in-process) or concurrent (pool).
+            plans = self._plan_batch(batch)
+            if self._pool is None or self._pool_sem is None:
+                await self._run_plans(plans)
+            else:
+                await self._pool_sem.acquire()
+                task = asyncio.create_task(self._run_plans(plans))
+                self._inflight.add(task)
+                task.add_done_callback(self._batch_task_done)
+
+    def _batch_task_done(self, task: asyncio.Task) -> None:
+        self._inflight.discard(task)
+        if self._pool_sem is not None:
+            self._pool_sem.release()
+        if not task.cancelled() and task.exception() is not None:  # pragma: no cover - defensive
+            get_registry().counter("serve_batch_task_errors_total").inc()
 
     def _batch_budget_s(self, batch: list[_Queued], now: float) -> float:
         """The scarcest remaining deadline in the batch (coalescing must not
@@ -855,6 +1263,21 @@ class ServeGateway:
         return False
 
     async def _execute(self, batch: list[_Queued]) -> None:
+        """Plan then run one batch — the serial composite (tests drive it)."""
+
+        await self._run_plans(self._plan_batch(batch))
+
+    def _plan_batch(self, batch: list[_Queued]) -> list[_BatchPlan]:
+        """All of a batch's policy, synchronously at dispatch time.
+
+        Groups the batch by model, validates (unknown model / out-of-range
+        samples become error payloads in the plan), selects active/shed
+        members, snapshots breaker states for the payloads, and records this
+        batch's pressure verdict — the complete set of board reads and
+        writes, so execution never touches shared policy state and pooled
+        batches can overlap freely.
+        """
+
         registry = get_registry()
         depth = self.queue.qsize()
         registry.gauge("serve_queue_depth").set(float(depth))
@@ -863,51 +1286,98 @@ class ServeGateway:
         registry.histogram("serve_batch_size", buckets=BATCH_SIZE_BUCKETS).observe(float(len(batch)))
         self.service.board.tick()
 
-        if self.config.batch_sleep_s > 0.0:
-            await asyncio.sleep(self.config.batch_sleep_s)
-
         groups: dict[str, list[_Queued]] = {}
         for queued in batch:
             groups.setdefault(queued.request.model, []).append(queued)
 
-        now = time.perf_counter()
+        plans: list[_BatchPlan] = []
         for model, queued_group in groups.items():
-            live: list[_Queued] = []
-            for queued in queued_group:
-                remaining = queued.remaining_s(now, self.config.default_deadline_ms)
-                if remaining is not None and remaining <= 0.0:
-                    registry.counter("serve_deadline_exceeded_total").inc()
-                    payload = {"id": queued.request.id, "outcome": OUTCOME_DEADLINE, "model": model}
-                    await self._finish(queued.conn, payload, queued.started)
-                else:
-                    live.append(queued)
-            if not live:
-                continue
+            plan = _BatchPlan(model)
+            plans.append(plan)
             try:
                 self.service.base_session(model)
             except (ServeError, DegradedEnsemble) as exc:
-                for queued in live:
-                    await self._finish(queued.conn, error_payload(queued.request.id, exc), queued.started)
+                plan.errors = [(q, error_payload(q.request.id, exc)) for q in queued_group]
                 continue
-            valid: list[_Queued] = []
-            for queued in live:
+            for queued in queued_group:
                 try:
                     self.service.check_samples(model, queued.request)
                 except ConfigError as exc:
-                    await self._finish(queued.conn, error_payload(queued.request.id, exc), queued.started)
+                    plan.errors.append((queued, error_payload(queued.request.id, exc)))
                 else:
-                    valid.append(queued)
-            if not valid:
+                    plan.queued.append(queued)
+            if not plan.queued:
                 continue
-            active, shed = self.service.active_members(model)
-            payloads = self.service.evaluate_requests(
-                model, [q.request for q in valid], active=active, shed=shed
-            )
-            for queued, payload in zip(valid, payloads):
+            plan.active, plan.shed = self.service.active_members(model)
+            plan.breaker_states = self.service.board.states_for(model)
+            self.service.record_pressure(model, plan.active, overloaded)
+        return plans
+
+    async def _run_plans(self, plans: list[_BatchPlan]) -> None:
+        """Execute planned work: sleep-padding, deadline filtering, tensor
+        evaluation, response frames.  Touches no policy state, so any number
+        of these may be in flight at once in pooled mode."""
+
+        registry = get_registry()
+        if self.config.batch_sleep_s > 0.0:
+            await asyncio.sleep(self.config.batch_sleep_s)
+
+        now = time.perf_counter()
+        for plan in plans:
+            live: list[_Queued] = []
+            for queued in plan.queued:
+                remaining = queued.remaining_s(now, self.config.default_deadline_ms)
+                if remaining is not None and remaining <= 0.0:
+                    registry.counter("serve_deadline_exceeded_total").inc()
+                    payload = {"id": queued.request.id, "outcome": OUTCOME_DEADLINE, "model": plan.model}
+                    await self._finish(queued.conn, payload, queued.started)
+                else:
+                    live.append(queued)
+            for queued, payload in plan.errors:
+                await self._finish(queued.conn, payload, queued.started)
+            if not live:
+                continue
+            payloads = await self._evaluate_plan(plan, live)
+            for queued, payload in zip(live, payloads):
                 if payload["outcome"] == OUTCOME_DEGRADED:
                     registry.counter("serve_degraded_total").inc()
                 await self._finish(queued.conn, payload, queued.started)
-            self.service.record_pressure(model, active, overloaded)
+
+    async def _evaluate_plan(self, plan: _BatchPlan, live: list[_Queued]) -> list[dict]:
+        """Evaluate one plan's surviving requests — pooled when a pool is
+        up, in-process otherwise, and in-process as the always-correct
+        fallback when the pool fails (``serve_pool_fallback_total{reason}``).
+        Both paths run the identical tensor-op math on identical policy
+        inputs, so the response bytes cannot differ."""
+
+        registry = get_registry()
+        requests = [q.request for q in live]
+        if self._pool is not None:
+            flat = flat_sample_indices(requests)
+            try:
+                probs, predictions, flags = await self._pool.evaluate(plan.model, plan.active, flat)
+            except PoolFallback as exc:
+                registry.counter("serve_pool_fallback_total", reason=exc.reason).inc()
+            else:
+                registry.counter("serve_pool_samples_total").inc(len(flat))
+                return self.service.build_payloads(
+                    plan.model,
+                    requests,
+                    [len(r.samples) for r in requests],
+                    probs,
+                    predictions,
+                    flags,
+                    active=plan.active,
+                    shed=plan.shed,
+                    breaker_states=plan.breaker_states,
+                )
+        return self.service.evaluate_requests(
+            plan.model,
+            requests,
+            active=plan.active,
+            shed=plan.shed,
+            breaker_states=plan.breaker_states,
+        )
 
 
 def _salvage_id(frame: bytes) -> str:
@@ -927,7 +1397,7 @@ def _salvage_id(frame: bytes) -> str:
 # ---------------------------------------------------------------------------
 
 
-def _build_store(args) -> ArtifactStore:
+def _build_store(args) -> tuple[ArtifactStore, SharedMemoryPlane | None]:
     cache_root = Path(args.cache)
     if args.synthetic_models > 0:
         from .faults import build_synthetic_model
@@ -942,11 +1412,11 @@ def _build_store(args) -> ArtifactStore:
         throwaway = ArtifactStore(cache_root)
         plane = SharedMemoryPlane.publish(throwaway, throwaway.models(), max_bytes=args.cache_bytes)
     cache = ArtifactCache(max_bytes=args.cache_bytes, plane=plane)
-    return ArtifactStore(cache_root, cache=cache)
+    return ArtifactStore(cache_root, cache=cache), plane
 
 
 async def _serve(args) -> int:
-    store = _build_store(args)
+    store, plane = _build_store(args)
     board = BreakerBoard(BreakerPolicy(failure_threshold=args.failure_threshold, cooldown_ticks=args.cooldown_ticks))
     service = PolygraphService(
         store,
@@ -967,6 +1437,7 @@ async def _serve(args) -> int:
         batch_sleep_s=args.batch_sleep,
         metrics_out=args.metrics_out,
         prom_out=args.prom_out,
+        workers=args.serve_workers,
     )
     gateway = ServeGateway(service, config)
     await gateway.start()
@@ -982,6 +1453,8 @@ async def _serve(args) -> int:
         "models": store.models(),
         "port": gateway.bound_port,
         "unix": args.unix,
+        "workers": gateway.worker_pids,
+        "plane": plane.describe() if plane is not None else None,
     }
     print(json.dumps(ready, sort_keys=True), flush=True)
 
@@ -997,6 +1470,17 @@ async def _serve(args) -> int:
         "degraded": registry.counter_value("serve_degraded_total"),
         "deadline_exceeded": registry.counter_value("serve_deadline_exceeded_total"),
     }
+    if args.serve_workers > 0:
+        # worker shards are already merged (pool drain precedes export)
+        summary["pool"] = {
+            "workers": args.serve_workers,
+            "restarts": registry.counter_value("serve_worker_restarts_total"),
+            "worker_batches": registry.counter_value("serve_worker_batches_total"),
+            "fallbacks": {
+                reason: registry.counter_value("serve_pool_fallback_total", reason=reason)
+                for reason in (FALLBACK_NO_WORKERS, FALLBACK_WORKER_CRASH, FALLBACK_WORKER_ERROR)
+            },
+        }
     print(json.dumps(summary, sort_keys=True), flush=True)
     return 0
 
@@ -1044,6 +1528,12 @@ def main(argv: list[str] | None = None) -> int:
         type=float,
         default=0.0,
         help="pad each executed batch by this many seconds (bench/smoke: pins the service rate)",
+    )
+    parser.add_argument(
+        "--serve-workers",
+        type=int,
+        default=0,
+        help="fork this many evaluator processes (0 = evaluate in-process on the dispatcher)",
     )
     parser.add_argument("--failure-threshold", type=int, default=3, help="overloaded batches before a member sheds")
     parser.add_argument("--cooldown-ticks", type=int, default=2, help="batches an open breaker waits before probing")

@@ -200,7 +200,8 @@ class TestServeSoak:
     FLOOD = 40  # concurrent requests per burst
     CALM = 10  # sequential requests after each burst
 
-    def test_serve_1k_requests_reconciles_counters_exactly(self, synthetic_cache):
+    @pytest.mark.parametrize("workers", [0, 4], ids=["in-process", "pooled-4"])
+    def test_serve_1k_requests_reconciles_counters_exactly(self, synthetic_cache, workers):
         import asyncio
         import json
 
@@ -218,6 +219,7 @@ class TestServeSoak:
             batch_max=8,
             coalesce_ms=1.0,
             batch_sleep_s=0.002,
+            workers=workers,
         )
 
         async def one(port: int, request: ServeRequest) -> dict:
@@ -289,3 +291,14 @@ class TestServeSoak:
         batch_sizes = reg.histogram_for("serve_batch_size")
         assert batch_sizes is not None and batch_sizes.sum == executed
         assert batch_sizes.count == reg.counter_value("serve_batches_total")
+
+        if workers:
+            # merged-shard invariant: every sample the dispatcher shipped to
+            # the pool was counted by exactly one worker shard, and drain
+            # folded those shards into this (parent) registry
+            pool_samples = reg.counter_value("serve_pool_samples_total")
+            assert pool_samples > 0, "pooled soak never evaluated through the pool"
+            assert reg.counter_value("serve_worker_samples_total") == pool_samples
+            assert reg.counter_total("serve_pool_jobs_total") == reg.counter_value("serve_worker_batches_total")
+            assert reg.counter_value("serve_pool_fallback_total", reason="worker-crash") == 0
+            assert reg.counter_value("serve_worker_restarts_total") == 0
